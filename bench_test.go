@@ -1,0 +1,183 @@
+// Package repro_test hosts the repository-level benchmark harness: one
+// testing.B benchmark per table and figure of the paper's evaluation
+// (each delegating to internal/experiments in Quick mode), plus ablation
+// benchmarks for the design decisions DESIGN.md calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Full-size regeneration of the paper's numbers is cmd/experiments.
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuitgen"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/scoap"
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+func quickCfg(i int) experiments.Config {
+	return experiments.Config{Quick: true, Seed: int64(100 + i)}
+}
+
+// BenchmarkTable1DatasetGeneration regenerates the benchmark suite and
+// its statistics (Table 1).
+func BenchmarkTable1DatasetGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table1(quickCfg(i))
+	}
+}
+
+// BenchmarkFig8TrainingDepth runs the search-depth study (Figure 8).
+func BenchmarkFig8TrainingDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig8(quickCfg(i))
+	}
+}
+
+// BenchmarkTable2Classifiers runs the balanced-set classifier comparison
+// (Table 2): LR, RF, SVM, MLP on cone features vs. the GCN.
+func BenchmarkTable2Classifiers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table2(quickCfg(i))
+	}
+}
+
+// BenchmarkFig9MultiStage runs the imbalanced F1 comparison (Figure 9).
+func BenchmarkFig9MultiStage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig9(quickCfg(i))
+	}
+}
+
+// BenchmarkFig10MatrixInference times full-graph matrix inference at the
+// Figure 10 mid-size point.
+func BenchmarkFig10MatrixInference(b *testing.B) {
+	n := circuitgen.Generate("f10m", circuitgen.Config{Seed: 1, NumGates: 20000})
+	g := core.FromNetlist(n, scoap.Compute(n))
+	model := core.MustNewModel(core.DefaultConfig())
+	model.Forward(g) // build CSR once
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Forward(g)
+	}
+}
+
+// BenchmarkFig10RecursiveInference times the prior-work recursion [12]
+// per node at the same point; multiply by N for the full-graph cost the
+// figure plots.
+func BenchmarkFig10RecursiveInference(b *testing.B) {
+	n := circuitgen.Generate("f10r", circuitgen.Config{Seed: 1, NumGates: 20000})
+	g := core.FromNetlist(n, scoap.Compute(n))
+	model := core.MustNewModel(core.DefaultConfig())
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.InferNodeRecursive(g, int32(rng.Intn(g.N)))
+	}
+}
+
+// BenchmarkTable3OPIFlow runs the full testability comparison (Table 3):
+// cascade training, both insertion flows and fault-simulation scoring.
+func BenchmarkTable3OPIFlow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table3(quickCfg(i))
+	}
+}
+
+// --- Ablation benchmarks -------------------------------------------------
+
+// BenchmarkAblationCOOvsCSR quantifies the COO→CSR conversion payoff for
+// the SpMM at the heart of inference (DESIGN.md decision 2).
+func BenchmarkAblationCOOMul(b *testing.B) {
+	n := circuitgen.Generate("ab1", circuitgen.Config{Seed: 3, NumGates: 20000})
+	g := core.FromNetlist(n, scoap.Compute(n))
+	x := tensor.NewDense(g.N, 32)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	dst := tensor.NewDense(g.N, 32)
+	coo := g.PredCOO()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coo.MulDense(dst, x)
+	}
+}
+
+func BenchmarkAblationCSRMul(b *testing.B) {
+	n := circuitgen.Generate("ab1", circuitgen.Config{Seed: 3, NumGates: 20000})
+	g := core.FromNetlist(n, scoap.Compute(n))
+	x := tensor.NewDense(g.N, 32)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	dst := tensor.NewDense(g.N, 32)
+	csr := g.Pred()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		csr.MulDense(dst, x)
+	}
+}
+
+// BenchmarkAblationSpMMParallel measures the goroutine-parallel SpMM
+// (the multi-GPU stand-in) against the serial kernel.
+func BenchmarkAblationSpMMParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	coo := sparse.NewCOO(100000, 100000)
+	for i := 0; i < 300000; i++ {
+		coo.Append(int32(rng.Intn(100000)), int32(rng.Intn(100000)), 1)
+	}
+	csr := coo.ToCSR()
+	x := tensor.NewDense(100000, 16)
+	dst := tensor.NewDense(100000, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		csr.MulDenseParallel(dst, x, 0)
+	}
+}
+
+// BenchmarkAblationIncrementalSCOAP compares the incremental fan-in-cone
+// observability update against a full recompute after one insertion
+// (DESIGN.md's incremental-update decision; Section 4 of the paper).
+func BenchmarkAblationIncrementalSCOAP(b *testing.B) {
+	n := circuitgen.Generate("ab2", circuitgen.Config{Seed: 4, NumGates: 20000})
+	m := scoap.Compute(n)
+	op, err := n.InsertObservationPoint(int32(n.NumGates() / 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.UpdateAfterObservationPoint(n, op)
+	}
+}
+
+func BenchmarkAblationFullSCOAPRecompute(b *testing.B) {
+	n := circuitgen.Generate("ab2", circuitgen.Config{Seed: 4, NumGates: 20000})
+	if _, err := n.InsertObservationPoint(int32(n.NumGates() / 3)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scoap.Compute(n)
+	}
+}
+
+// BenchmarkAblationFaultSimulation measures the 64-way bit-parallel
+// simulation batch that underlies labeling and Table 3 scoring.
+func BenchmarkAblationFaultSimulation(b *testing.B) {
+	n := circuitgen.Generate("ab3", circuitgen.Config{Seed: 5, NumGates: 50000})
+	sim := fault.NewSimulator(n)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Batch(rng)
+	}
+}

@@ -1,0 +1,63 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic benchmark suite.
+//
+// Usage:
+//
+//	experiments [-size N] [-patterns N] [-epochs N] [-seed N] [-quick] [-run LIST]
+//
+// -run selects a comma-separated subset of
+// table1,fig8,table2,fig9,fig10,table3 (default: all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	size := flag.Int("size", 0, "approximate gates per benchmark design (0 = default)")
+	patterns := flag.Int("patterns", 0, "labeling pattern budget (0 = default)")
+	epochs := flag.Int("epochs", 0, "GCN training epochs (0 = default)")
+	seed := flag.Int64("seed", 42, "global seed")
+	quick := flag.Bool("quick", false, "shrink everything for a fast smoke run")
+	run := flag.String("run", "all", "comma-separated experiments: table1,fig8,table2,fig9,fig10,table3,ablation (ablation is opt-in, not part of all)")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Size: *size, Patterns: *patterns, Epochs: *epochs, Seed: *seed, Quick: *quick,
+	}
+
+	want := map[string]bool{}
+	if *run == "all" {
+		for _, k := range []string{"table1", "fig8", "table2", "fig9", "fig10", "table3"} {
+			want[k] = true
+		}
+	} else {
+		for _, k := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(strings.ToLower(k))] = true
+		}
+	}
+
+	step := func(name string, f func()) {
+		if !want[name] {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		f()
+		fmt.Printf("(%s took %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+
+	step("table1", func() { r := experiments.Table1(cfg); r.Fprint(os.Stdout) })
+	step("fig8", func() { r := experiments.Fig8(cfg); r.Fprint(os.Stdout) })
+	step("table2", func() { r := experiments.Table2(cfg); r.Fprint(os.Stdout) })
+	step("fig9", func() { r := experiments.Fig9(cfg); r.Fprint(os.Stdout) })
+	step("fig10", func() { r := experiments.Fig10(cfg); r.Fprint(os.Stdout) })
+	step("table3", func() { r := experiments.Table3(cfg); r.Fprint(os.Stdout) })
+	step("ablation", func() { r := experiments.StageAblation(cfg, 4); r.Fprint(os.Stdout) })
+}

@@ -1,0 +1,71 @@
+// OP insertion: the paper's end-to-end flow on one design. A multi-stage
+// GCN trained on two sibling designs drives iterative observation point
+// insertion; a SCOAP-greedy industrial-tool stand-in processes an
+// identical copy; both results are scored by the same fault simulator
+// (the Table 3 comparison in miniature).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/circuitgen"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/opi"
+	"repro/internal/scoap"
+)
+
+func main() {
+	const gates = 2500
+	train1 := dataset.Build("T1", circuitgen.Config{Seed: 21, NumGates: gates}, 1024, dataset.DefaultThreshold, 21)
+	train2 := dataset.Build("T2", circuitgen.Config{Seed: 22, NumGates: gates}, 1024, dataset.DefaultThreshold, 22)
+	target := dataset.Build("DUT", circuitgen.Config{Seed: 23, NumGates: gates}, 1024, dataset.DefaultThreshold, 23)
+
+	// Train the cascade on the sibling designs (imbalanced labels).
+	mopt := core.DefaultMultiStageOptions()
+	mopt.ModelCfg = core.Config{Dims: []int{16, 32, 64}, FCDims: []int{32, 32}, NumClasses: 2, Seed: 5}
+	mopt.Train = core.DefaultTrainOptions()
+	mopt.Train.Epochs = 60
+	mopt.Train.LR = 0.02
+	ms, err := core.TrainMultiStage([]*core.Graph{train1.Graph, train2.Graph}, mopt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tpg := fault.TPGConfig{MaxPatterns: 8192, Seed: 99}
+	before := opi.Evaluate(target.Netlist.Clone(), tpg)
+	fmt.Printf("before insertion : OPs %4d  patterns %4d  coverage %.2f%%\n",
+		before.OPs, before.Patterns, 100*before.Coverage)
+
+	// GCN flow on a private copy.
+	flowNet := target.Netlist.Clone()
+	flowMeas := scoap.Compute(flowNet)
+	flowGraph := core.FromNetlist(flowNet, flowMeas)
+	res := opi.RunFlow(flowNet, flowMeas, flowGraph, ms, opi.FlowConfig{
+		PerIteration: 32,
+		Progress: func(iter, positives, inserted int) {
+			fmt.Printf("  flow iteration %d: %d positive predictions, %d OPs placed\n",
+				iter, positives, inserted)
+		},
+	})
+	gcnEval := opi.Evaluate(flowNet, tpg)
+	fmt.Printf("GCN flow         : OPs %4d  patterns %4d  coverage %.2f%%  (%d iterations)\n",
+		gcnEval.OPs, gcnEval.Patterns, 100*gcnEval.Coverage, res.Iterations)
+
+	// Industrial-tool stand-in on another copy, threshold calibrated on
+	// the training designs.
+	cut := opi.CalibrateCOThreshold(train1.Measures, train1.Graph.Labels, 0.1)
+	toolNet := target.Netlist.Clone()
+	toolMeas := scoap.Compute(toolNet)
+	opi.IndustrialBaseline(toolNet, toolMeas, opi.BaselineConfig{COThreshold: cut, PerIteration: 32})
+	toolEval := opi.Evaluate(toolNet, tpg)
+	fmt.Printf("industrial tool  : OPs %4d  patterns %4d  coverage %.2f%%\n",
+		toolEval.OPs, toolEval.Patterns, 100*toolEval.Coverage)
+
+	if toolEval.OPs > 0 {
+		fmt.Printf("\nGCN/tool OP ratio: %.2f (the paper reports 0.89)\n",
+			float64(gcnEval.OPs)/float64(toolEval.OPs))
+	}
+}

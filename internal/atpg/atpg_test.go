@@ -1,0 +1,248 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/circuitgen"
+	"repro/internal/netlist"
+)
+
+// simulateWithFault evaluates the netlist under a full binary pattern,
+// optionally injecting a stuck-at fault, and returns the values observed
+// at all observation sinks (POs, OPs, scan flop inputs).
+func simulateWithFault(n *netlist.Netlist, pattern map[int32]Value, f *Fault) []bool {
+	vals := make([]bool, n.NumGates())
+	for _, id := range n.TopoOrder() {
+		g := n.Gate(id)
+		switch g.Type {
+		case netlist.Input, netlist.DFF:
+			vals[id] = pattern[id] == One
+		case netlist.Output, netlist.Obs, netlist.Buf:
+			vals[id] = vals[g.Fanin[0]]
+		case netlist.Not:
+			vals[id] = !vals[g.Fanin[0]]
+		case netlist.And, netlist.Nand:
+			v := true
+			for _, fin := range g.Fanin {
+				v = v && vals[fin]
+			}
+			vals[id] = v != (g.Type == netlist.Nand)
+		case netlist.Or, netlist.Nor:
+			v := false
+			for _, fin := range g.Fanin {
+				v = v || vals[fin]
+			}
+			vals[id] = v != (g.Type == netlist.Nor)
+		case netlist.Xor, netlist.Xnor:
+			v := false
+			for _, fin := range g.Fanin {
+				v = v != vals[fin]
+			}
+			vals[id] = v != (g.Type == netlist.Xnor)
+		}
+		if f != nil && id == f.Node {
+			vals[id] = f.StuckAt1
+		}
+	}
+	var outs []bool
+	for id := int32(0); id < int32(n.NumGates()); id++ {
+		if n.Type(id).IsObservationSink() {
+			outs = append(outs, vals[n.Fanin(id)[0]])
+		}
+	}
+	return outs
+}
+
+// verifyDetects checks that the PODEM pattern actually detects the fault
+// (some sink differs between good and faulty machines).
+func verifyDetects(t *testing.T, n *netlist.Netlist, pattern map[int32]Value, f Fault) {
+	t.Helper()
+	// Complete the pattern: unassigned sources get 0.
+	full := make(map[int32]Value)
+	for id := int32(0); id < int32(n.NumGates()); id++ {
+		if n.Type(id).IsControllableSource() {
+			v, ok := pattern[id]
+			if !ok || v == X {
+				v = Zero
+			}
+			full[id] = v
+		}
+	}
+	good := simulateWithFault(n, full, nil)
+	bad := simulateWithFault(n, full, &f)
+	for i := range good {
+		if good[i] != bad[i] {
+			return
+		}
+	}
+	t.Fatalf("pattern %v does not detect fault %+v", full, f)
+}
+
+func TestAndGateStuckAt(t *testing.T) {
+	n := netlist.New("and")
+	a := n.MustAddGate(netlist.Input, "a")
+	b := n.MustAddGate(netlist.Input, "b")
+	g := n.MustAddGate(netlist.And, "g", a, b)
+	n.MustAddGate(netlist.Output, "po", g)
+	gen := NewGenerator(n)
+
+	// s-a-0 at g: needs a=b=1.
+	res := gen.Generate(Fault{Node: g, StuckAt1: false})
+	if !res.Success {
+		t.Fatalf("s-a-0 not detected: %+v", res)
+	}
+	if res.Pattern[a] != One || res.Pattern[b] != One {
+		t.Errorf("pattern %v, want a=b=1", res.Pattern)
+	}
+	verifyDetects(t, n, res.Pattern, Fault{Node: g, StuckAt1: false})
+
+	// s-a-1 at g: needs output 0, any input 0.
+	res = gen.Generate(Fault{Node: g, StuckAt1: true})
+	if !res.Success {
+		t.Fatalf("s-a-1 not detected: %+v", res)
+	}
+	verifyDetects(t, n, res.Pattern, Fault{Node: g, StuckAt1: true})
+}
+
+func TestPropagationThroughGateChain(t *testing.T) {
+	// Fault deep behind an AND gate needs side inputs at non-controlling
+	// values.
+	n := netlist.New("chain")
+	a := n.MustAddGate(netlist.Input, "a")
+	e1 := n.MustAddGate(netlist.Input, "e1")
+	e2 := n.MustAddGate(netlist.Input, "e2")
+	inv := n.MustAddGate(netlist.Not, "inv", a)
+	s1 := n.MustAddGate(netlist.And, "s1", inv, e1)
+	s2 := n.MustAddGate(netlist.Or, "s2", s1, e2)
+	n.MustAddGate(netlist.Output, "po", s2)
+	gen := NewGenerator(n)
+	for _, f := range []Fault{{Node: inv}, {Node: inv, StuckAt1: true}, {Node: a}, {Node: s1, StuckAt1: true}} {
+		res := gen.Generate(f)
+		if !res.Success {
+			t.Fatalf("fault %+v undetected: %+v", f, res)
+		}
+		verifyDetects(t, n, res.Pattern, f)
+		// Every fault must propagate through the OR, which needs e2=0.
+		if res.Pattern[e2] != Zero {
+			t.Errorf("fault %+v: e2 = %v, want 0", f, res.Pattern[e2])
+		}
+		// Faults upstream of the AND additionally need e1=1.
+		if f.Node != s1 && res.Pattern[e1] != One {
+			t.Errorf("fault %+v: e1 = %v, want 1", f, res.Pattern[e1])
+		}
+	}
+}
+
+func TestRedundantFaultProvedUntestable(t *testing.T) {
+	// z = OR(a, NOT(a)) is constant 1, so z s-a-1 is redundant.
+	n := netlist.New("red")
+	a := n.MustAddGate(netlist.Input, "a")
+	inv := n.MustAddGate(netlist.Not, "inv", a)
+	z := n.MustAddGate(netlist.Or, "z", a, inv)
+	n.MustAddGate(netlist.Output, "po", z)
+	gen := NewGenerator(n)
+	res := gen.Generate(Fault{Node: z, StuckAt1: true})
+	if res.Success {
+		t.Fatalf("redundant fault reported testable: %+v", res)
+	}
+	if res.Aborted {
+		t.Fatalf("tiny redundant fault should be proved, not aborted")
+	}
+}
+
+func TestXorPropagation(t *testing.T) {
+	n := netlist.New("xor")
+	a := n.MustAddGate(netlist.Input, "a")
+	b := n.MustAddGate(netlist.Input, "b")
+	x := n.MustAddGate(netlist.Xor, "x", a, b)
+	n.MustAddGate(netlist.Output, "po", x)
+	gen := NewGenerator(n)
+	for _, f := range []Fault{{Node: a}, {Node: a, StuckAt1: true}, {Node: x}, {Node: x, StuckAt1: true}} {
+		res := gen.Generate(f)
+		if !res.Success {
+			t.Fatalf("fault %+v undetected", f)
+		}
+		verifyDetects(t, n, res.Pattern, f)
+	}
+}
+
+func TestScanFlopBoundary(t *testing.T) {
+	// Fault behind a DFF data input is observed at the scan capture; a
+	// fault after the DFF is controlled from the scan chain.
+	n := netlist.New("scan")
+	a := n.MustAddGate(netlist.Input, "a")
+	b := n.MustAddGate(netlist.Input, "b")
+	g := n.MustAddGate(netlist.And, "g", a, b)
+	q := n.MustAddGate(netlist.DFF, "q", g)
+	h := n.MustAddGate(netlist.Not, "h", q)
+	n.MustAddGate(netlist.Output, "po", h)
+	gen := NewGenerator(n)
+	for _, f := range []Fault{{Node: g}, {Node: g, StuckAt1: true}, {Node: h}, {Node: q, StuckAt1: true}} {
+		res := gen.Generate(f)
+		if !res.Success {
+			t.Fatalf("fault %+v undetected", f)
+		}
+		verifyDetects(t, n, res.Pattern, f)
+	}
+}
+
+func TestC17AllFaultsTestable(t *testing.T) {
+	// Every stuck-at fault in c17 is testable; generate and verify all.
+	n := netlist.New("c17")
+	g1 := n.MustAddGate(netlist.Input, "1")
+	g2 := n.MustAddGate(netlist.Input, "2")
+	g3 := n.MustAddGate(netlist.Input, "3")
+	g6 := n.MustAddGate(netlist.Input, "6")
+	g7 := n.MustAddGate(netlist.Input, "7")
+	g10 := n.MustAddGate(netlist.Nand, "10", g1, g3)
+	g11 := n.MustAddGate(netlist.Nand, "11", g3, g6)
+	g16 := n.MustAddGate(netlist.Nand, "16", g2, g11)
+	g19 := n.MustAddGate(netlist.Nand, "19", g11, g7)
+	g22 := n.MustAddGate(netlist.Nand, "22", g10, g16)
+	g23 := n.MustAddGate(netlist.Nand, "23", g16, g19)
+	n.MustAddGate(netlist.Output, "po22", g22)
+	n.MustAddGate(netlist.Output, "po23", g23)
+
+	gen := NewGenerator(n)
+	for node := int32(0); node <= g23; node++ {
+		for _, sa1 := range []bool{false, true} {
+			f := Fault{Node: node, StuckAt1: sa1}
+			res := gen.Generate(f)
+			if !res.Success {
+				t.Errorf("c17 fault %+v undetected (aborted=%v)", f, res.Aborted)
+				continue
+			}
+			verifyDetects(t, n, res.Pattern, f)
+		}
+	}
+}
+
+func TestGeneratedCircuitFaultsVerify(t *testing.T) {
+	// On a random circuit, every PODEM success must verify against the
+	// reference fault simulation.
+	n := circuitgen.Generate("g", circuitgen.Config{Seed: 9, NumGates: 400})
+	gen := NewGenerator(n)
+	gen.BacktrackLimit = 100
+	success, aborted, untestable := 0, 0, 0
+	for node := int32(0); node < int32(n.NumGates()); node += 7 {
+		switch n.Type(node) {
+		case netlist.Output, netlist.Obs:
+			continue
+		}
+		f := Fault{Node: node, StuckAt1: node%2 == 0}
+		res := gen.Generate(f)
+		switch {
+		case res.Success:
+			success++
+			verifyDetects(t, n, res.Pattern, f)
+		case res.Aborted:
+			aborted++
+		default:
+			untestable++
+		}
+	}
+	if success == 0 {
+		t.Fatal("PODEM found no tests at all")
+	}
+	t.Logf("success=%d aborted=%d untestable=%d", success, aborted, untestable)
+}

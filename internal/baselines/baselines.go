@@ -1,0 +1,160 @@
+// Package baselines implements the classical machine learning models the
+// paper compares the GCN against in Table 2: logistic regression (LR),
+// linear support vector machine (SVM), multi-layer perceptron (MLP, same
+// shape as the GCN's classifier head) and random forest (RF). All consume
+// the fixed-dimension cone features from package features and share a
+// small Classifier interface so the Table 2 harness can sweep them.
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Classifier is the common training/prediction surface of all baselines.
+type Classifier interface {
+	// Name identifies the model in reports ("LR", "RF", "SVM", "MLP").
+	Name() string
+	// Fit trains on feature rows X with binary labels y (0/1).
+	Fit(x *tensor.Dense, y []int)
+	// Predict returns a 0/1 label per row of X.
+	Predict(x *tensor.Dense) []int
+}
+
+// LogisticRegression is a binary logistic regression trained with
+// full-batch gradient descent and L2 regularization.
+type LogisticRegression struct {
+	LR      float64 // learning rate; default 0.5
+	Epochs  int     // default 200
+	L2      float64 // default 1e-4
+	weights []float64
+	bias    float64
+}
+
+// Name implements Classifier.
+func (m *LogisticRegression) Name() string { return "LR" }
+
+// Fit implements Classifier.
+func (m *LogisticRegression) Fit(x *tensor.Dense, y []int) {
+	lr, epochs, l2 := m.LR, m.Epochs, m.L2
+	if lr <= 0 {
+		lr = 0.5
+	}
+	if epochs <= 0 {
+		epochs = 200
+	}
+	if l2 <= 0 {
+		l2 = 1e-4
+	}
+	m.weights = make([]float64, x.Cols)
+	m.bias = 0
+	n := float64(x.Rows)
+	gw := make([]float64, x.Cols)
+	for e := 0; e < epochs; e++ {
+		for j := range gw {
+			gw[j] = 0
+		}
+		gb := 0.0
+		for i := 0; i < x.Rows; i++ {
+			row := x.Row(i)
+			p := sigmoid(dot(m.weights, row) + m.bias)
+			err := p - float64(y[i])
+			for j, v := range row {
+				gw[j] += err * v
+			}
+			gb += err
+		}
+		for j := range m.weights {
+			m.weights[j] -= lr * (gw[j]/n + l2*m.weights[j])
+		}
+		m.bias -= lr * gb / n
+	}
+}
+
+// Predict implements Classifier.
+func (m *LogisticRegression) Predict(x *tensor.Dense) []int {
+	out := make([]int, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		if dot(m.weights, x.Row(i))+m.bias > 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// LinearSVM is a linear soft-margin SVM trained by Pegasos-style
+// stochastic subgradient descent on the hinge loss.
+type LinearSVM struct {
+	Lambda  float64 // regularization; default 1e-4
+	Epochs  int     // passes over the data; default 40
+	Seed    int64
+	weights []float64
+	bias    float64
+}
+
+// Name implements Classifier.
+func (m *LinearSVM) Name() string { return "SVM" }
+
+// Fit implements Classifier.
+func (m *LinearSVM) Fit(x *tensor.Dense, y []int) {
+	lambda, epochs := m.Lambda, m.Epochs
+	if lambda <= 0 {
+		lambda = 1e-4
+	}
+	if epochs <= 0 {
+		epochs = 40
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	m.weights = make([]float64, x.Cols)
+	m.bias = 0
+	t := 1
+	order := rng.Perm(x.Rows)
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			eta := 1 / (lambda * float64(t))
+			t++
+			row := x.Row(i)
+			s := 2*float64(y[i]) - 1 // ±1
+			margin := s * (dot(m.weights, row) + m.bias)
+			for j := range m.weights {
+				m.weights[j] *= 1 - eta*lambda
+			}
+			if margin < 1 {
+				for j, v := range row {
+					m.weights[j] += eta * s * v
+				}
+				m.bias += eta * s * 0.1 // unregularized slow bias
+			}
+		}
+	}
+}
+
+// Predict implements Classifier.
+func (m *LinearSVM) Predict(x *tensor.Dense) []int {
+	out := make([]int, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		if dot(m.weights, x.Row(i))+m.bias > 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}

@@ -1,0 +1,145 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// gaussianBlobs builds a linearly separable 2-class dataset.
+func gaussianBlobs(rng *rand.Rand, n, dim int, sep float64) (*tensor.Dense, []int) {
+	x := tensor.NewDense(n, dim)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		label := i % 2
+		y[i] = label
+		shift := -sep
+		if label == 1 {
+			shift = sep
+		}
+		row := x.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64() + shift
+		}
+	}
+	return x, y
+}
+
+// xorData is not linearly separable: only RF/MLP should solve it.
+func xorData(rng *rand.Rand, n int) (*tensor.Dense, []int) {
+	x := tensor.NewDense(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.Intn(2), rng.Intn(2)
+		x.Set(i, 0, float64(a)+rng.NormFloat64()*0.1)
+		x.Set(i, 1, float64(b)+rng.NormFloat64()*0.1)
+		y[i] = a ^ b
+	}
+	return x, y
+}
+
+func accuracy(pred, y []int) float64 {
+	c := 0
+	for i := range y {
+		if pred[i] == y[i] {
+			c++
+		}
+	}
+	return float64(c) / float64(len(y))
+}
+
+func allModels(seed int64) []Classifier {
+	return []Classifier{
+		&LogisticRegression{},
+		&LinearSVM{Seed: seed},
+		&RandomForest{Seed: seed, NumTrees: 30},
+		&MLP{Seed: seed, Hidden: []int{16, 16}, Epochs: 200, LR: 0.1},
+	}
+}
+
+func TestAllModelsSeparateBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xTrain, yTrain := gaussianBlobs(rng, 200, 8, 1.0)
+	xTest, yTest := gaussianBlobs(rng, 100, 8, 1.0)
+	for _, m := range allModels(7) {
+		m.Fit(xTrain, yTrain)
+		acc := accuracy(m.Predict(xTest), yTest)
+		if acc < 0.9 {
+			t.Errorf("%s: blob accuracy = %.3f, want >= 0.9", m.Name(), acc)
+		}
+	}
+}
+
+func TestNonlinearModelsSolveXor(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xTrain, yTrain := xorData(rng, 400)
+	xTest, yTest := xorData(rng, 200)
+
+	for _, m := range []Classifier{
+		&RandomForest{Seed: 3, NumTrees: 30},
+		&MLP{Seed: 3, Hidden: []int{16, 16}, Epochs: 400, LR: 0.1},
+	} {
+		m.Fit(xTrain, yTrain)
+		acc := accuracy(m.Predict(xTest), yTest)
+		if acc < 0.9 {
+			t.Errorf("%s: xor accuracy = %.3f, want >= 0.9", m.Name(), acc)
+		}
+	}
+
+	// Linear models should fail on XOR (sanity that the task is hard).
+	lr := &LogisticRegression{}
+	lr.Fit(xTrain, yTrain)
+	if acc := accuracy(lr.Predict(xTest), yTest); acc > 0.8 {
+		t.Errorf("LR solved XOR (%.3f) — test data is broken", acc)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := gaussianBlobs(rng, 120, 6, 0.6)
+	a := &RandomForest{Seed: 11, NumTrees: 15}
+	b := &RandomForest{Seed: 11, NumTrees: 15}
+	a.Fit(x, y)
+	b.Fit(x, y)
+	pa, pb := a.Predict(x), b.Predict(x)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("same-seed forests disagree")
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	want := map[string]bool{"LR": true, "SVM": true, "RF": true, "MLP": true}
+	for _, m := range allModels(1) {
+		if !want[m.Name()] {
+			t.Errorf("unexpected name %q", m.Name())
+		}
+	}
+}
+
+func TestForestHandlesConstantFeatures(t *testing.T) {
+	// All-equal features: forest must fall back to leaves, not loop.
+	x := tensor.NewDense(20, 5)
+	y := make([]int, 20)
+	for i := 10; i < 20; i++ {
+		y[i] = 1
+	}
+	f := &RandomForest{Seed: 1, NumTrees: 5}
+	f.Fit(x, y)
+	pred := f.Predict(x)
+	if len(pred) != 20 {
+		t.Fatal("prediction length")
+	}
+}
+
+func BenchmarkRandomForestFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := gaussianBlobs(rng, 300, 512, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := &RandomForest{Seed: int64(i), NumTrees: 20}
+		f.Fit(x, y)
+	}
+}

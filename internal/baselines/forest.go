@@ -1,0 +1,182 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// RandomForest is a bagged ensemble of CART decision trees with Gini
+// impurity splits and per-split random feature subsampling.
+type RandomForest struct {
+	NumTrees    int // default 50
+	MaxDepth    int // default 12
+	MinLeaf     int // default 2
+	MaxFeatures int // features tried per split; default sqrt(D)
+	Seed        int64
+	trees       []*treeNode
+}
+
+// Name implements Classifier.
+func (m *RandomForest) Name() string { return "RF" }
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	leaf      bool
+	label     int
+}
+
+// Fit implements Classifier.
+func (m *RandomForest) Fit(x *tensor.Dense, y []int) {
+	numTrees, maxDepth, minLeaf, maxFeat := m.NumTrees, m.MaxDepth, m.MinLeaf, m.MaxFeatures
+	if numTrees <= 0 {
+		numTrees = 50
+	}
+	if maxDepth <= 0 {
+		maxDepth = 12
+	}
+	if minLeaf <= 0 {
+		minLeaf = 2
+	}
+	if maxFeat <= 0 {
+		maxFeat = int(math.Sqrt(float64(x.Cols)))
+		if maxFeat < 1 {
+			maxFeat = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	m.trees = make([]*treeNode, numTrees)
+	for t := range m.trees {
+		// Bootstrap sample.
+		idx := make([]int, x.Rows)
+		for i := range idx {
+			idx[i] = rng.Intn(x.Rows)
+		}
+		b := &treeBuilder{x: x, y: y, rng: rng, maxDepth: maxDepth, minLeaf: minLeaf, maxFeat: maxFeat}
+		m.trees[t] = b.build(idx, 0)
+	}
+}
+
+// Predict implements Classifier (majority vote).
+func (m *RandomForest) Predict(x *tensor.Dense) []int {
+	out := make([]int, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		votes := 0
+		for _, t := range m.trees {
+			votes += t.classify(row)
+		}
+		if 2*votes > len(m.trees) {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func (t *treeNode) classify(row []float64) int {
+	for !t.leaf {
+		if row[t.feature] <= t.threshold {
+			t = t.left
+		} else {
+			t = t.right
+		}
+	}
+	return t.label
+}
+
+type treeBuilder struct {
+	x        *tensor.Dense
+	y        []int
+	rng      *rand.Rand
+	maxDepth int
+	minLeaf  int
+	maxFeat  int
+}
+
+func (b *treeBuilder) build(idx []int, depth int) *treeNode {
+	pos := 0
+	for _, i := range idx {
+		pos += b.y[i]
+	}
+	if pos == 0 || pos == len(idx) || depth >= b.maxDepth || len(idx) < 2*b.minLeaf {
+		return leafNode(pos, len(idx))
+	}
+
+	bestFeat, bestThresh, bestGini := -1, 0.0, math.Inf(1)
+	// Candidate features without replacement.
+	feats := b.rng.Perm(b.x.Cols)[:b.maxFeat]
+	type fv struct {
+		v float64
+		y int
+	}
+	vals := make([]fv, len(idx))
+	for _, f := range feats {
+		for k, i := range idx {
+			vals[k] = fv{b.x.At(i, f), b.y[i]}
+		}
+		sort.Slice(vals, func(a, c int) bool { return vals[a].v < vals[c].v })
+		leftPos, leftN := 0, 0
+		for k := 0; k+1 < len(vals); k++ {
+			leftPos += vals[k].y
+			leftN++
+			if vals[k].v == vals[k+1].v {
+				continue
+			}
+			if leftN < b.minLeaf || len(vals)-leftN < b.minLeaf {
+				continue
+			}
+			rightPos := pos - leftPos
+			rightN := len(vals) - leftN
+			g := weightedGini(leftPos, leftN) + weightedGini(rightPos, rightN)
+			if g < bestGini {
+				bestGini = g
+				bestFeat = f
+				bestThresh = (vals[k].v + vals[k+1].v) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return leafNode(pos, len(idx))
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		if b.x.At(i, bestFeat) <= bestThresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return leafNode(pos, len(idx))
+	}
+	return &treeNode{
+		feature:   bestFeat,
+		threshold: bestThresh,
+		left:      b.build(left, depth+1),
+		right:     b.build(right, depth+1),
+	}
+}
+
+func leafNode(pos, n int) *treeNode {
+	label := 0
+	if 2*pos > n {
+		label = 1
+	}
+	return &treeNode{leaf: true, label: label}
+}
+
+// weightedGini returns n * gini(pos/n), the split-objective contribution
+// of one side.
+func weightedGini(pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return float64(n) * 2 * p * (1 - p)
+}

@@ -1,0 +1,61 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// MLP is the multi-layer perceptron baseline. Per the paper, its
+// configuration matches the GCN's classifier module (hidden layers
+// 64, 64, 128), but it consumes the handcrafted 4004-dimensional cone
+// features instead of learned embeddings.
+type MLP struct {
+	Hidden   []int   // default [64, 64, 128]
+	Epochs   int     // default 120
+	LR       float64 // default 0.05
+	Momentum float64 // default 0.9
+	Seed     int64
+	net      *nn.MLP
+}
+
+// Name implements Classifier.
+func (m *MLP) Name() string { return "MLP" }
+
+// Fit implements Classifier.
+func (m *MLP) Fit(x *tensor.Dense, y []int) {
+	hidden := m.Hidden
+	if hidden == nil {
+		hidden = []int{64, 64, 128}
+	}
+	epochs := m.Epochs
+	if epochs <= 0 {
+		epochs = 120
+	}
+	lr := m.LR
+	if lr <= 0 {
+		lr = 0.05
+	}
+	mom := m.Momentum
+	if mom <= 0 {
+		mom = 0.9
+	}
+	dims := append([]int{x.Cols}, hidden...)
+	dims = append(dims, 2)
+	rng := rand.New(rand.NewSource(m.Seed))
+	m.net = nn.NewMLP("mlp", dims, rng)
+	opt := &nn.SGD{LR: lr, Momentum: mom, ClipNorm: 5}
+	for e := 0; e < epochs; e++ {
+		nn.ZeroGrads(m.net.Params())
+		logits := m.net.Forward(x)
+		_, dlogits := nn.WeightedCrossEntropy(logits, y, nil)
+		m.net.Backward(dlogits)
+		opt.Step(m.net.Params())
+	}
+}
+
+// Predict implements Classifier.
+func (m *MLP) Predict(x *tensor.Dense) []int {
+	return m.net.Forward(x).ArgmaxRows()
+}

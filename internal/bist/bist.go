@@ -1,0 +1,198 @@
+// Package bist implements the logic built-in self-test substrate that
+// motivates the paper's test point insertion in the first place: in
+// scan-based BIST, pseudo-random patterns from an LFSR drive the scan
+// chains and a MISR compacts the responses, so fault coverage is limited
+// precisely by the random-pattern-resistant (difficult-to-observe /
+// difficult-to-control) nodes that test points fix.
+//
+// The package provides a Fibonacci LFSR pattern source, a MISR signature
+// compactor, and a BIST session runner that drives the bit-parallel
+// fault simulator with LFSR patterns and reports coverage plus the
+// golden signature.
+package bist
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/fault"
+	"repro/internal/netlist"
+)
+
+// LFSR is a Fibonacci linear feedback shift register over Width bits.
+// Taps is the feedback polynomial mask (bit i set means stage i feeds
+// the XOR). A zero state is illegal (the all-zero state is a fixed
+// point) and is rejected by New.
+type LFSR struct {
+	Width int
+	Taps  uint64
+	state uint64
+}
+
+// Poly16 is a maximal-length 16-bit polynomial (x^16+x^15+x^13+x^4+1).
+const Poly16 = uint64(0xB400)
+
+// Poly32 is a maximal-length 32-bit polynomial.
+const Poly32 = uint64(0x80200003)
+
+// NewLFSR constructs an LFSR with the given width, taps and nonzero
+// seed (the seed is masked to the width).
+func NewLFSR(width int, taps, seed uint64) (*LFSR, error) {
+	if width <= 0 || width > 64 {
+		return nil, fmt.Errorf("bist: illegal LFSR width %d", width)
+	}
+	mask := widthMask(width)
+	seed &= mask
+	if seed == 0 {
+		return nil, fmt.Errorf("bist: LFSR seed must be nonzero")
+	}
+	if taps&mask == 0 {
+		return nil, fmt.Errorf("bist: LFSR taps empty")
+	}
+	return &LFSR{Width: width, Taps: taps & mask, state: seed}, nil
+}
+
+func widthMask(width int) uint64 {
+	if width == 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(width)) - 1
+}
+
+// State returns the current register contents.
+func (l *LFSR) State() uint64 { return l.state }
+
+// Step advances the register one cycle and returns the new state.
+func (l *LFSR) Step() uint64 {
+	fb := uint64(bits.OnesCount64(l.state&l.Taps) & 1)
+	l.state = ((l.state << 1) | fb) & widthMask(l.Width)
+	return l.state
+}
+
+// MISR is a multiple-input signature register: responses are XORed into
+// the state before each LFSR-style shift, compacting an arbitrarily long
+// response stream into one word.
+type MISR struct {
+	Width int
+	Taps  uint64
+	state uint64
+}
+
+// NewMISR constructs a MISR with the given feedback polynomial.
+func NewMISR(width int, taps uint64) (*MISR, error) {
+	if width <= 0 || width > 64 {
+		return nil, fmt.Errorf("bist: illegal MISR width %d", width)
+	}
+	if taps&widthMask(width) == 0 {
+		return nil, fmt.Errorf("bist: MISR taps empty")
+	}
+	return &MISR{Width: width, Taps: taps & widthMask(width)}, nil
+}
+
+// Shift absorbs one response word.
+func (m *MISR) Shift(response uint64) {
+	s := m.state ^ (response & widthMask(m.Width))
+	fb := uint64(bits.OnesCount64(s&m.Taps) & 1)
+	m.state = ((s << 1) | fb) & widthMask(m.Width)
+}
+
+// Signature returns the compacted signature.
+func (m *MISR) Signature() uint64 { return m.state }
+
+// SessionConfig configures a BIST run.
+type SessionConfig struct {
+	// Patterns is the pseudo-random pattern budget; default 4096.
+	Patterns int
+	// Seed seeds the LFSR (nonzero); default 0xACE1.
+	Seed uint64
+}
+
+// SessionResult reports a BIST run.
+type SessionResult struct {
+	Coverage  float64 // stuck-at coverage achieved by the LFSR patterns
+	Detected  int
+	Total     int
+	Signature uint64 // golden MISR signature of the fault-free responses
+	Patterns  int
+}
+
+// RunSession drives the netlist with LFSR-generated patterns (64 per
+// simulation batch, one LFSR state per source cell per pattern),
+// measures stuck-at coverage with fault dropping, and compacts the
+// fault-free primary output responses into a MISR signature.
+func RunSession(n *netlist.Netlist, cfg SessionConfig) (SessionResult, error) {
+	if cfg.Patterns <= 0 {
+		cfg.Patterns = 4096
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0xACE1
+	}
+	lfsr, err := NewLFSR(32, Poly32, cfg.Seed)
+	if err != nil {
+		return SessionResult{}, err
+	}
+	misr, err := NewMISR(64, Poly32|1)
+	if err != nil {
+		return SessionResult{}, err
+	}
+
+	sim := fault.NewSimulator(n)
+	live := fault.FaultUniverse(n)
+	res := SessionResult{Total: len(live)}
+	pos := n.PrimaryOutputs()
+
+	words := (cfg.Patterns + fault.WordSize - 1) / fault.WordSize
+	sourceWord := make(map[int32]uint64)
+	for w := 0; w < words; w++ {
+		// Build 64 patterns: each source takes one bit per LFSR step,
+		// different sources sample different bit positions of the state
+		// (a cheap stand-in for a phase shifter network).
+		for k := range sourceWord {
+			delete(sourceWord, k)
+		}
+		for lane := 0; lane < fault.WordSize; lane++ {
+			state := lfsr.Step()
+			idx := 0
+			for id := int32(0); id < int32(n.NumGates()); id++ {
+				if !n.Type(id).IsControllableSource() {
+					continue
+				}
+				if state>>(uint(idx)%32)&1 == 1 {
+					sourceWord[id] |= 1 << uint(lane)
+				}
+				idx++
+				if idx%32 == 0 {
+					state = lfsr.Step()
+				}
+			}
+		}
+		sim.BatchFrom(func(id int32) uint64 { return sourceWord[id] })
+		res.Patterns += fault.WordSize
+
+		// Compact fault-free PO responses.
+		vals, obs := sim.Values(), sim.Obs()
+		for _, po := range pos {
+			misr.Shift(vals[po])
+		}
+		// Fault dropping.
+		kept := live[:0]
+		for _, f := range live {
+			mask := obs[f.Node]
+			if f.StuckAt1 {
+				mask &= ^vals[f.Node]
+			} else {
+				mask &= vals[f.Node]
+			}
+			if mask == 0 {
+				kept = append(kept, f)
+			}
+		}
+		live = kept
+	}
+	res.Detected = res.Total - len(live)
+	if res.Total > 0 {
+		res.Coverage = float64(res.Detected) / float64(res.Total)
+	}
+	res.Signature = misr.Signature()
+	return res, nil
+}

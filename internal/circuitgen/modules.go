@@ -1,0 +1,142 @@
+package circuitgen
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// This file provides structured datapath module builders. Industrial
+// netlists are not uniform random gate soup: they contain arithmetic
+// carry chains, comparators, multiplexers and parity trees, whose
+// characteristic reconvergence and depth shape both SCOAP profiles and
+// random-pattern testability. The builders append a module to an
+// existing netlist, consuming arbitrary existing nets as operands, and
+// are also used standalone by tests that verify them exhaustively
+// against integer arithmetic.
+
+// AppendFullAdder appends a 1-bit full adder and returns (sum, carry).
+func AppendFullAdder(n *netlist.Netlist, a, b, cin int32) (sum, cout int32) {
+	axb := n.MustAddGate(netlist.Xor, "", a, b)
+	sum = n.MustAddGate(netlist.Xor, "", axb, cin)
+	ab := n.MustAddGate(netlist.And, "", a, b)
+	cx := n.MustAddGate(netlist.And, "", axb, cin)
+	cout = n.MustAddGate(netlist.Or, "", ab, cx)
+	return sum, cout
+}
+
+// AppendRippleCarryAdder appends a width-matched ripple-carry adder over
+// operand nets a and b with carry-in cin, returning the sum bits (LSB
+// first) and the carry-out.
+func AppendRippleCarryAdder(n *netlist.Netlist, a, b []int32, cin int32) (sum []int32, cout int32) {
+	if len(a) != len(b) || len(a) == 0 {
+		panic(fmt.Sprintf("circuitgen: adder operands %d/%d bits", len(a), len(b)))
+	}
+	carry := cin
+	sum = make([]int32, len(a))
+	for i := range a {
+		sum[i], carry = AppendFullAdder(n, a[i], b[i], carry)
+	}
+	return sum, carry
+}
+
+// AppendArrayMultiplier appends an unsigned array multiplier and returns
+// the 2·width product bits (LSB first).
+func AppendArrayMultiplier(n *netlist.Netlist, a, b []int32) []int32 {
+	if len(a) == 0 || len(b) == 0 {
+		panic("circuitgen: multiplier needs operands")
+	}
+	// Partial products pp[i][j] = a[j] AND b[i].
+	rows := make([][]int32, len(b))
+	for i := range b {
+		rows[i] = make([]int32, len(a))
+		for j := range a {
+			rows[i][j] = n.MustAddGate(netlist.And, "", a[j], b[i])
+		}
+	}
+	// Accumulate row by row with ripple adders, shifting left each row.
+	product := make([]int32, 0, len(a)+len(b))
+	acc := rows[0]
+	for i := 1; i < len(rows); i++ {
+		product = append(product, acc[0])
+		// Add rows[i] to acc>>1 (i.e., acc without its LSB, zero-extended).
+		hi := acc[1:]
+		zero := constantZero(n, a[0])
+		aligned := make([]int32, len(rows[i]))
+		for k := range aligned {
+			if k < len(hi) {
+				aligned[k] = hi[k]
+			} else {
+				aligned[k] = zero
+			}
+		}
+		var carry int32 = zero
+		next := make([]int32, len(rows[i]))
+		for k := range rows[i] {
+			next[k], carry = AppendFullAdder(n, aligned[k], rows[i][k], carry)
+		}
+		acc = append(next, carry)
+	}
+	product = append(product, acc...)
+	return product
+}
+
+// constantZero synthesizes a constant-0 net from any existing net
+// (x AND NOT x).
+func constantZero(n *netlist.Netlist, x int32) int32 {
+	inv := n.MustAddGate(netlist.Not, "", x)
+	return n.MustAddGate(netlist.And, "", x, inv)
+}
+
+// AppendEqualityComparator appends a == comparator over two equal-width
+// operands and returns the single match net.
+func AppendEqualityComparator(n *netlist.Netlist, a, b []int32) int32 {
+	if len(a) != len(b) || len(a) == 0 {
+		panic("circuitgen: comparator operands mismatch")
+	}
+	var acc int32 = -1
+	for i := range a {
+		eq := n.MustAddGate(netlist.Xnor, "", a[i], b[i])
+		if acc < 0 {
+			acc = eq
+		} else {
+			acc = n.MustAddGate(netlist.And, "", acc, eq)
+		}
+	}
+	return acc
+}
+
+// AppendMux2 appends a 2:1 multiplexer per bit (sel ? b : a).
+func AppendMux2(n *netlist.Netlist, sel int32, a, b []int32) []int32 {
+	if len(a) != len(b) {
+		panic("circuitgen: mux operands mismatch")
+	}
+	inv := n.MustAddGate(netlist.Not, "", sel)
+	out := make([]int32, len(a))
+	for i := range a {
+		pa := n.MustAddGate(netlist.And, "", a[i], inv)
+		pb := n.MustAddGate(netlist.And, "", b[i], sel)
+		out[i] = n.MustAddGate(netlist.Or, "", pa, pb)
+	}
+	return out
+}
+
+// AppendParityTree appends a balanced XOR reduction and returns the
+// parity net.
+func AppendParityTree(n *netlist.Netlist, in []int32) int32 {
+	if len(in) == 0 {
+		panic("circuitgen: parity of nothing")
+	}
+	level := append([]int32(nil), in...)
+	for len(level) > 1 {
+		var next []int32
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, n.MustAddGate(netlist.Xor, "", level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return level[0]
+}

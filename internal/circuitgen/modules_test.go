@@ -1,0 +1,203 @@
+package circuitgen
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/netlist"
+)
+
+// evalWith simulates the netlist for up to 64 patterns whose source
+// values are given per input, returning the value words of all cells.
+func evalWith(n *netlist.Netlist, words map[int32]uint64) []uint64 {
+	sim := fault.NewSimulator(n)
+	sim.BatchFrom(func(id int32) uint64 { return words[id] })
+	return sim.Values()
+}
+
+// makeOperand creates `bits` primary inputs and returns their IDs.
+func makeOperand(n *netlist.Netlist, bits int, name string) []int32 {
+	out := make([]int32, bits)
+	for i := range out {
+		out[i] = n.MustAddGate(netlist.Input, "")
+	}
+	return out
+}
+
+// enumerate2 fills input words so that the 64 lanes enumerate all
+// combinations of aBits+bBits ≤ 6 input bits.
+func enumerate2(a, b []int32) map[int32]uint64 {
+	words := make(map[int32]uint64)
+	total := len(a) + len(b)
+	if total > 6 {
+		panic("enumerate2 supports at most 6 bits")
+	}
+	for lane := 0; lane < 1<<total; lane++ {
+		for i, id := range a {
+			if lane>>uint(i)&1 == 1 {
+				words[id] |= 1 << uint(lane)
+			}
+		}
+		for i, id := range b {
+			if lane>>uint(len(a)+i)&1 == 1 {
+				words[id] |= 1 << uint(lane)
+			}
+		}
+	}
+	return words
+}
+
+func bitsToInt(vals []uint64, ids []int32, lane int) int {
+	out := 0
+	for i, id := range ids {
+		if vals[id]>>uint(lane)&1 == 1 {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+func TestRippleCarryAdderExhaustive(t *testing.T) {
+	n := netlist.New("add")
+	a := makeOperand(n, 3, "a")
+	b := makeOperand(n, 3, "b")
+	zero := constantZero(n, a[0])
+	sum, cout := AppendRippleCarryAdder(n, a, b, zero)
+	for _, s := range sum {
+		n.MustAddGate(netlist.Output, "", s)
+	}
+	n.MustAddGate(netlist.Output, "", cout)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	vals := evalWith(n, enumerate2(a, b))
+	outs := append(append([]int32(nil), sum...), cout)
+	for lane := 0; lane < 64; lane++ {
+		av := bitsToInt(vals, a, lane)
+		bv := bitsToInt(vals, b, lane)
+		got := bitsToInt(vals, outs, lane)
+		if got != av+bv {
+			t.Fatalf("lane %d: %d+%d = %d, got %d", lane, av, bv, av+bv, got)
+		}
+	}
+}
+
+func TestArrayMultiplierExhaustive(t *testing.T) {
+	n := netlist.New("mul")
+	a := makeOperand(n, 3, "a")
+	b := makeOperand(n, 3, "b")
+	prod := AppendArrayMultiplier(n, a, b)
+	for _, p := range prod {
+		n.MustAddGate(netlist.Output, "", p)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	vals := evalWith(n, enumerate2(a, b))
+	for lane := 0; lane < 64; lane++ {
+		av := bitsToInt(vals, a, lane)
+		bv := bitsToInt(vals, b, lane)
+		got := bitsToInt(vals, prod, lane)
+		if got != av*bv {
+			t.Fatalf("lane %d: %d*%d = %d, got %d", lane, av, bv, av*bv, got)
+		}
+	}
+}
+
+func TestEqualityComparatorExhaustive(t *testing.T) {
+	n := netlist.New("eq")
+	a := makeOperand(n, 3, "a")
+	b := makeOperand(n, 3, "b")
+	eq := AppendEqualityComparator(n, a, b)
+	n.MustAddGate(netlist.Output, "", eq)
+
+	vals := evalWith(n, enumerate2(a, b))
+	for lane := 0; lane < 64; lane++ {
+		av := bitsToInt(vals, a, lane)
+		bv := bitsToInt(vals, b, lane)
+		got := vals[eq]>>uint(lane)&1 == 1
+		if got != (av == bv) {
+			t.Fatalf("lane %d: eq(%d,%d) = %v", lane, av, bv, got)
+		}
+	}
+}
+
+func TestMux2Exhaustive(t *testing.T) {
+	n := netlist.New("mux")
+	sel := n.MustAddGate(netlist.Input, "sel")
+	a := makeOperand(n, 2, "a")
+	b := makeOperand(n, 2, "b")
+	out := AppendMux2(n, sel, a, b)
+	for _, o := range out {
+		n.MustAddGate(netlist.Output, "", o)
+	}
+
+	words := enumerate2(a, b)
+	// sel toggles on lanes ≥ 16 (bit 4 of the 5-bit enumeration space).
+	for lane := 0; lane < 32; lane++ {
+		if lane >= 16 {
+			words[sel] |= 1 << uint(lane)
+		}
+	}
+	vals := evalWith(n, words)
+	for lane := 0; lane < 32; lane++ {
+		av := bitsToInt(vals, a, lane)
+		bv := bitsToInt(vals, b, lane)
+		want := av
+		if lane >= 16 {
+			want = bv
+		}
+		if got := bitsToInt(vals, out, lane); got != want {
+			t.Fatalf("lane %d: mux = %d, want %d", lane, got, want)
+		}
+	}
+}
+
+func TestParityTree(t *testing.T) {
+	n := netlist.New("par")
+	in := makeOperand(n, 5, "in")
+	p := AppendParityTree(n, in)
+	n.MustAddGate(netlist.Output, "", p)
+	words := make(map[int32]uint64)
+	for lane := 0; lane < 32; lane++ {
+		for i, id := range in {
+			if lane>>uint(i)&1 == 1 {
+				words[id] |= 1 << uint(lane)
+			}
+		}
+	}
+	vals := evalWith(n, words)
+	for lane := 0; lane < 32; lane++ {
+		pop := 0
+		for i := range in {
+			pop += lane >> uint(i) & 1
+		}
+		got := vals[p]>>uint(lane)&1 == 1
+		if got != (pop%2 == 1) {
+			t.Fatalf("lane %d: parity = %v, want %v", lane, got, pop%2 == 1)
+		}
+	}
+}
+
+func TestModulePanics(t *testing.T) {
+	n := netlist.New("p")
+	a := makeOperand(n, 2, "a")
+	for name, f := range map[string]func(){
+		"adder":      func() { AppendRippleCarryAdder(n, a, a[:1], a[0]) },
+		"multiplier": func() { AppendArrayMultiplier(n, nil, a) },
+		"comparator": func() { AppendEqualityComparator(n, a, a[:1]) },
+		"mux":        func() { AppendMux2(n, a[0], a, a[:1]) },
+		"parity":     func() { AppendParityTree(n, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: mismatched operands should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

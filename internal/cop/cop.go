@@ -1,0 +1,154 @@
+// Package cop implements COP (controllability/observability program)
+// probabilistic testability measures: the signal probability of every
+// net and the probability that a net's value propagates to an
+// observable point under uniform random patterns. COP is the analytic
+// counterpart of the empirical observability counts measured by package
+// fault, and represents the "approximate measurement" school of test
+// point insertion the paper cites; the two agree exactly on fanout-free
+// circuits and diverge under reconvergent fanout, which is why tools
+// based on it over- or under-estimate difficulty — and part of why a
+// learned model has room to win.
+package cop
+
+import (
+	"repro/internal/netlist"
+)
+
+// Measures holds COP probabilities per cell output.
+type Measures struct {
+	// P1 is the probability the net is 1 under uniform random inputs.
+	P1 []float64
+	// Obs is the probability the net's value is observed at some
+	// primary output, scan flop or observation point.
+	Obs []float64
+}
+
+// Compute runs the COP analysis: signal probabilities forward assuming
+// input independence, observabilities backward with OR-combination at
+// fanout (1 - Π(1-o_branch)).
+func Compute(n *netlist.Netlist) *Measures {
+	m := &Measures{
+		P1:  make([]float64, n.NumGates()),
+		Obs: make([]float64, n.NumGates()),
+	}
+	order := n.TopoOrder()
+	for _, id := range order {
+		g := n.Gate(id)
+		switch g.Type {
+		case netlist.Input, netlist.DFF:
+			m.P1[id] = 0.5
+		case netlist.Output, netlist.Obs, netlist.Buf:
+			m.P1[id] = m.P1[g.Fanin[0]]
+		case netlist.Not:
+			m.P1[id] = 1 - m.P1[g.Fanin[0]]
+		case netlist.And, netlist.Nand:
+			p := 1.0
+			for _, f := range g.Fanin {
+				p *= m.P1[f]
+			}
+			if g.Type == netlist.Nand {
+				p = 1 - p
+			}
+			m.P1[id] = p
+		case netlist.Or, netlist.Nor:
+			q := 1.0
+			for _, f := range g.Fanin {
+				q *= 1 - m.P1[f]
+			}
+			p := 1 - q
+			if g.Type == netlist.Nor {
+				p = 1 - p
+			}
+			m.P1[id] = p
+		case netlist.Xor, netlist.Xnor:
+			// P(odd parity) folds pairwise.
+			p := m.P1[g.Fanin[0]]
+			for _, f := range g.Fanin[1:] {
+				q := m.P1[f]
+				p = p*(1-q) + (1-p)*q
+			}
+			if g.Type == netlist.Xnor {
+				p = 1 - p
+			}
+			m.P1[id] = p
+		}
+	}
+
+	// Backward observabilities. notObs accumulates Π(1-o) per net.
+	notObs := make([]float64, n.NumGates())
+	for i := range notObs {
+		notObs[i] = 1
+	}
+	absorb := func(id int32, o float64) {
+		notObs[id] *= 1 - o
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		g := n.Gate(id)
+		switch g.Type {
+		case netlist.Output, netlist.Obs:
+			m.Obs[id] = 1
+			absorb(g.Fanin[0], 1)
+			continue
+		case netlist.DFF:
+			absorb(g.Fanin[0], 1)
+			continue
+		case netlist.Input:
+			m.Obs[id] = 1 - notObs[id]
+			continue
+		}
+		o := 1 - notObs[id]
+		m.Obs[id] = o
+		if o == 0 {
+			continue
+		}
+		switch g.Type {
+		case netlist.Buf, netlist.Not:
+			absorb(g.Fanin[0], o)
+		case netlist.And, netlist.Nand:
+			m.propagate(g, o, absorb, true)
+		case netlist.Or, netlist.Nor:
+			m.propagate(g, o, absorb, false)
+		case netlist.Xor, netlist.Xnor:
+			for _, f := range g.Fanin {
+				absorb(f, o)
+			}
+		}
+	}
+	return m
+}
+
+// propagate pushes observability into AND/OR-style fanins: input i is
+// observed with probability o × Π_{j≠i} P(non-controlling_j).
+func (m *Measures) propagate(g *netlist.Gate, o float64, absorb func(int32, float64), andLike bool) {
+	fi := g.Fanin
+	prob := func(f int32) float64 {
+		if andLike {
+			return m.P1[f]
+		}
+		return 1 - m.P1[f]
+	}
+	// Prefix/suffix products of the sides.
+	suffix := make([]float64, len(fi))
+	acc := 1.0
+	for i := len(fi) - 1; i >= 0; i-- {
+		suffix[i] = acc
+		acc *= prob(fi[i])
+	}
+	prefix := 1.0
+	for i, f := range fi {
+		absorb(f, o*prefix*suffix[i])
+		prefix *= prob(f)
+	}
+}
+
+// DetectionProbability returns the COP estimate of the per-pattern
+// detection probability of a stuck-at fault at the node's output: the
+// probability the node holds the opposite value times its observability.
+func (m *Measures) DetectionProbability(node int32, stuckAt1 bool) float64 {
+	excite := m.P1[node]
+	if stuckAt1 {
+		excite = 1 - m.P1[node]
+	}
+	return excite * m.Obs[node]
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// This file implements incremental inference, the natural completion of
+// the paper's Section 3.4/4 efficiency story: the iterative insertion
+// flow changes the graph only locally (one appended node plus attribute
+// refreshes inside a fan-in cone), and a depth-D GCN's output can change
+// only within D hops of those modifications. Instead of re-running the
+// full matrix inference after every insertion, IncrementalState caches
+// all layer embeddings and relaxes just the growing D-hop frontier.
+//
+// UpdateIncremental produces bit-identical results to a fresh Forward
+// (verified by tests) at a cost proportional to the affected
+// neighborhood instead of the whole graph.
+
+// IncrementalState caches per-layer embeddings and output probabilities
+// for incremental updates. It is tied to the (model, graph) pair that
+// produced it.
+type IncrementalState struct {
+	embeds []*tensor.Dense // embeds[0] = X copy, embeds[d] = E_d
+	logits *tensor.Dense
+	Probs  []float64
+}
+
+// ForwardFull runs a complete inference pass and captures the state
+// needed for subsequent incremental updates.
+func (m *Model) ForwardFull(g *Graph) *IncrementalState {
+	st := &IncrementalState{}
+	_, cache := m.forward(g, true) // keep=true allocates private buffers
+	st.embeds = cache.embeds
+	// embeds[0] currently aliases g.X; copy so later attribute edits
+	// don't silently corrupt the cache.
+	st.embeds[0] = g.X.Clone()
+	st.logits = cache.logits
+	st.Probs = probsFromLogits(st.logits)
+	return st
+}
+
+func probsFromLogits(logits *tensor.Dense) []float64 {
+	p := nn.Softmax(logits)
+	out := make([]float64, logits.Rows)
+	for i := range out {
+		out[i] = p.At(i, 1)
+	}
+	return out
+}
+
+// UpdateIncremental refreshes the state after graph mutations. dirty
+// lists every node whose attribute row changed; nodes appended since the
+// last update (g.N larger than the cached state) are treated as dirty
+// automatically. The update touches only the D-hop neighborhood of the
+// dirty set.
+func (m *Model) UpdateIncremental(st *IncrementalState, g *Graph, dirty []int32) {
+	oldN := st.embeds[0].Rows
+	if g.N < oldN {
+		panic("core: graph shrank; incremental state invalid")
+	}
+	// Grow cached matrices for appended nodes.
+	if g.N > oldN {
+		for d := range st.embeds {
+			st.embeds[d] = growRows(st.embeds[d], g.N)
+		}
+		st.logits = growRows(st.logits, g.N)
+		st.Probs = append(st.Probs, make([]float64, g.N-oldN)...)
+		for v := oldN; v < g.N; v++ {
+			dirty = append(dirty, int32(v))
+		}
+	}
+
+	// Refresh E0 rows (attributes) for the dirty set.
+	frontier := make(map[int32]bool, len(dirty))
+	for _, v := range dirty {
+		frontier[v] = true
+		copy(st.embeds[0].Row(int(v)), g.X.Row(int(v)))
+	}
+	if len(frontier) == 0 {
+		return
+	}
+
+	wpr, wsu := m.Wpr.Data[0], m.Wsu.Data[0]
+	for d, enc := range m.Enc {
+		// A node's E_{d+1} depends on its own and its neighbors' E_d, so
+		// the affected set grows by one hop per layer.
+		next := make(map[int32]bool, 2*len(frontier))
+		for v := range frontier {
+			next[v] = true
+			for _, u := range g.SuccList(v) {
+				next[u] = true
+			}
+			for _, u := range g.PredList(v) {
+				next[u] = true
+			}
+		}
+		frontier = next
+
+		prev := st.embeds[d]
+		cur := st.embeds[d+1]
+		agg := make([]float64, prev.Cols)
+		for v := range frontier {
+			copy(agg, prev.Row(int(v)))
+			preds, pvals := g.PredEntries(v)
+			for i, u := range preds {
+				w := wpr * pvals[i]
+				row := prev.Row(int(u))
+				for j, x := range row {
+					agg[j] += w * x
+				}
+			}
+			succs, svals := g.SuccEntries(v)
+			for i, u := range succs {
+				w := wsu * svals[i]
+				row := prev.Row(int(u))
+				for j, x := range row {
+					agg[j] += w * x
+				}
+			}
+			out := enc.ForwardInto(nil, &tensor.Dense{Rows: 1, Cols: len(agg), Data: agg})
+			out.ReLUInPlace()
+			copy(cur.Row(int(v)), out.Data)
+		}
+	}
+
+	// Classifier head over the final frontier rows only.
+	for v := range frontier {
+		row := st.embeds[len(st.embeds)-1].Row(int(v))
+		logits := m.FC.Infer(&tensor.Dense{Rows: 1, Cols: len(row), Data: row})
+		copy(st.logits.Row(int(v)), logits.Data)
+		p := nn.Softmax(logits)
+		st.Probs[v] = p.At(0, 1)
+	}
+}
+
+func growRows(d *tensor.Dense, rows int) *tensor.Dense {
+	if d.Rows >= rows {
+		return d
+	}
+	nd := tensor.NewDense(rows, d.Cols)
+	copy(nd.Data, d.Data)
+	return nd
+}

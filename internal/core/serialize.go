@@ -1,0 +1,66 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// multiStageWire is the gob wire format for a trained cascade: the
+// architecture plus every stage's flat parameter values.
+type multiStageWire struct {
+	Cfg         Config
+	FilterBelow float64
+	StageParams [][][]float64 // [stage][param][values]
+	ParamNames  []string
+}
+
+// Save serializes the cascade (architecture + parameters).
+func (ms *MultiStage) Save(w io.Writer) error {
+	if len(ms.Stages) == 0 {
+		return fmt.Errorf("core: cannot save empty cascade")
+	}
+	wire := multiStageWire{
+		Cfg:         ms.Stages[0].Cfg,
+		FilterBelow: ms.FilterBelow,
+	}
+	for _, p := range ms.Stages[0].Params() {
+		wire.ParamNames = append(wire.ParamNames, p.Name)
+	}
+	for _, s := range ms.Stages {
+		var ps [][]float64
+		for _, p := range s.Params() {
+			ps = append(ps, p.Data)
+		}
+		wire.StageParams = append(wire.StageParams, ps)
+	}
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// LoadMultiStage reconstructs a cascade saved with Save.
+func LoadMultiStage(r io.Reader) (*MultiStage, error) {
+	var wire multiStageWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, err
+	}
+	ms := &MultiStage{FilterBelow: wire.FilterBelow}
+	for si, ps := range wire.StageParams {
+		m, err := NewModel(wire.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		params := m.Params()
+		if len(params) != len(ps) {
+			return nil, fmt.Errorf("core: stage %d has %d params, stored %d", si, len(params), len(ps))
+		}
+		for i, p := range params {
+			if len(p.Data) != len(ps[i]) {
+				return nil, fmt.Errorf("core: stage %d param %q size %d != stored %d",
+					si, p.Name, len(p.Data), len(ps[i]))
+			}
+			copy(p.Data, ps[i])
+		}
+		ms.Stages = append(ms.Stages, m)
+	}
+	return ms, nil
+}

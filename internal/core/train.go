@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/nn"
+)
+
+// TrainOptions controls end-to-end GCN training.
+type TrainOptions struct {
+	Epochs      int
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	LRDecay     float64 // multiplicative per-epoch decay; 0 or 1 disables
+	ClipNorm    float64 // global gradient-norm clip; <= 0 disables
+	PosWeight   float64 // class weight of the positive class; <= 0 means 1
+	Workers     int     // parallel gradient workers; <= 0 means one per graph
+	// Progress, when non-nil, is invoked after every epoch with the mean
+	// training loss.
+	Progress func(epoch int, loss float64)
+	// OnEpoch, when non-nil, is invoked after every optimizer step with
+	// the up-to-date model; used to record accuracy curves (Figure 8).
+	OnEpoch func(epoch int, m *Model)
+}
+
+// DefaultTrainOptions returns settings that train the default
+// architecture reliably on balanced netlist datasets.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{
+		Epochs:   150,
+		LR:       0.05,
+		Momentum: 0.9,
+		LRDecay:  0.995,
+		ClipNorm: 5,
+	}
+}
+
+func (o TrainOptions) classWeights(numClasses int) []float64 {
+	w := make([]float64, numClasses)
+	for i := range w {
+		w[i] = 1
+	}
+	if o.PosWeight > 0 && numClasses >= 2 {
+		w[1] = o.PosWeight
+	}
+	return w
+}
+
+// Train fits the model on one or more graphs end-to-end. labelSets[i]
+// provides per-node labels for graphs[i] (-1 masks a node out of the
+// loss); a nil labelSets uses each graph's own Labels.
+//
+// Gradients are computed one-graph-per-worker, mirroring the paper's
+// multi-GPU data parallelism (Figure 5): each worker holds a parameter
+// replica, processes whole graphs (an adjacency matrix cannot be split
+// the way an image batch can), and the merged gradient drives a single
+// shared update per epoch. Returns the per-epoch mean loss history.
+func Train(m *Model, graphs []*Graph, labelSets [][]int, opt TrainOptions) ([]float64, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("core: no training graphs")
+	}
+	if labelSets == nil {
+		labelSets = make([][]int, len(graphs))
+		for i, g := range graphs {
+			labelSets[i] = g.Labels
+		}
+	}
+	if len(labelSets) != len(graphs) {
+		return nil, fmt.Errorf("core: %d label sets for %d graphs", len(labelSets), len(graphs))
+	}
+	for i, g := range graphs {
+		if len(labelSets[i]) != g.N {
+			return nil, fmt.Errorf("core: graph %d has %d nodes but %d labels", i, g.N, len(labelSets[i]))
+		}
+	}
+	if opt.Epochs <= 0 {
+		opt.Epochs = 1
+	}
+	workers := opt.Workers
+	if workers <= 0 || workers > len(graphs) {
+		workers = len(graphs)
+	}
+
+	replicas := make([]*Model, workers)
+	for w := range replicas {
+		if w == 0 {
+			replicas[0] = m // worker 0 reuses the master parameters
+		} else {
+			replicas[w] = m.Clone()
+		}
+	}
+
+	weights := opt.classWeights(m.Cfg.NumClasses)
+	opt2 := &nn.SGD{LR: opt.LR, Momentum: opt.Momentum, WeightDecay: opt.WeightDecay, ClipNorm: opt.ClipNorm}
+	history := make([]float64, 0, opt.Epochs)
+
+	losses := make([]float64, len(graphs))
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		for w := 1; w < workers; w++ {
+			replicas[w].CopyParamsFrom(m)
+		}
+		for _, r := range replicas {
+			nn.ZeroGrads(r.Params())
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for gi := w; gi < len(graphs); gi += workers {
+					losses[gi] = replicas[w].LossAndGrad(graphs[gi], labelSets[gi], weights)
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		// Merge replica gradients into the master and average over graphs.
+		master := m.Params()
+		for w := 1; w < workers; w++ {
+			for pi, p := range replicas[w].Params() {
+				dst := master[pi].Grad
+				for i, gv := range p.Grad {
+					dst[i] += gv
+				}
+			}
+		}
+		inv := 1 / float64(len(graphs))
+		var mean float64
+		for _, l := range losses {
+			mean += l * inv
+		}
+		for _, p := range master {
+			for i := range p.Grad {
+				p.Grad[i] *= inv
+			}
+		}
+		opt2.Step(master)
+		if opt.LRDecay > 0 && opt.LRDecay != 1 {
+			opt2.LR *= opt.LRDecay
+		}
+		history = append(history, mean)
+		if opt.Progress != nil {
+			opt.Progress(epoch, mean)
+		}
+		if opt.OnEpoch != nil {
+			opt.OnEpoch(epoch, m)
+		}
+	}
+	return history, nil
+}
+
+// Accuracy computes classification accuracy of the model on g restricted
+// to nodes whose entry in labels is 0 or 1.
+func Accuracy(m *Model, g *Graph, labels []int) float64 {
+	pred := m.PredictLabels(g)
+	correct, total := 0, 0
+	for i, l := range labels {
+		if l < 0 {
+			continue
+		}
+		total++
+		if pred[i] == l {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

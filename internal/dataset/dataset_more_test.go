@@ -1,0 +1,71 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/circuitgen"
+)
+
+func TestThresholdMonotonicity(t *testing.T) {
+	// A looser difficulty threshold can only add positives.
+	gcfg := circuitgen.Config{Seed: 44, NumGates: 2500}
+	strict := Build("s", gcfg, 1024, 0.002, 1)
+	loose := Build("l", gcfg, 1024, 0.02, 1)
+	sPos, _ := strict.Graph.CountLabels()
+	lPos, _ := loose.Graph.CountLabels()
+	if lPos < sPos {
+		t.Errorf("loose threshold produced fewer positives (%d) than strict (%d)", lPos, sPos)
+	}
+	// And every strict positive remains positive under the loose cut.
+	for v, l := range strict.Graph.Labels {
+		if l == 1 && loose.Graph.Labels[v] != 1 {
+			t.Fatalf("node %d lost its positive label under a looser threshold", v)
+		}
+	}
+}
+
+func TestSuiteSeedIsolation(t *testing.T) {
+	a := GenerateSuite(SuiteConfig{NumGates: 1200, Patterns: 512, Designs: 2, Seed: 100})
+	b := GenerateSuite(SuiteConfig{NumGates: 1200, Patterns: 512, Designs: 2, Seed: 100})
+	for i := range a {
+		if a[i].Netlist.NumGates() != b[i].Netlist.NumGates() {
+			t.Fatal("same-seed suites differ")
+		}
+		for v := range a[i].Graph.Labels {
+			if a[i].Graph.Labels[v] != b[i].Graph.Labels[v] {
+				t.Fatal("same-seed labels differ")
+			}
+		}
+	}
+}
+
+func TestBalancedLabelsWithNoPositives(t *testing.T) {
+	suite := GenerateSuite(SuiteConfig{NumGates: 1200, Patterns: 512, Designs: 1, Seed: 7})
+	g := suite[0].Graph
+	// Erase positives.
+	for v, l := range g.Labels {
+		if l == 1 {
+			g.Labels[v] = 0
+		}
+	}
+	bal := BalancedLabels(g, 1)
+	for _, l := range bal {
+		if l == 1 {
+			t.Fatal("balanced set invented a positive")
+		}
+	}
+}
+
+func TestObsCountsStoredPerBenchmark(t *testing.T) {
+	suite := GenerateSuite(SuiteConfig{NumGates: 1200, Patterns: 512, Designs: 1, Seed: 8})
+	b := suite[0]
+	if len(b.ObsCounts) != b.Netlist.NumGates() {
+		t.Fatalf("ObsCounts length %d, want %d", len(b.ObsCounts), b.Netlist.NumGates())
+	}
+	// Positives must indeed have low counts.
+	for v, l := range b.Graph.Labels {
+		if l == 1 && float64(b.ObsCounts[v]) >= DefaultThreshold*512 {
+			t.Fatalf("positive node %d has high observability count %d", v, b.ObsCounts[v])
+		}
+	}
+}

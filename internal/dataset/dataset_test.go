@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestGenerateSuiteShape(t *testing.T) {
+	suite := GenerateSuite(SuiteConfig{NumGates: 2500, Patterns: 1024, Designs: 4, Seed: 1})
+	if len(suite) != 4 {
+		t.Fatalf("suite size = %d", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, b := range suite {
+		if seen[b.Name] {
+			t.Errorf("duplicate name %s", b.Name)
+		}
+		seen[b.Name] = true
+		nodes, edges, pos, neg := b.Stats()
+		if nodes == 0 || edges == 0 {
+			t.Fatalf("%s: empty design", b.Name)
+		}
+		if pos == 0 {
+			t.Errorf("%s: no positive labels", b.Name)
+		}
+		if pos+neg != nodes {
+			t.Errorf("%s: pos+neg = %d != nodes %d", b.Name, pos+neg, nodes)
+		}
+		frac := float64(pos) / float64(nodes)
+		if frac > 0.05 {
+			t.Errorf("%s: positive fraction %.3f too high for the paper's regime", b.Name, frac)
+		}
+		if err := b.Netlist.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if b.Graph.N != nodes {
+			t.Errorf("%s: graph/netlist size mismatch", b.Name)
+		}
+	}
+}
+
+func TestSuiteDesignsDiffer(t *testing.T) {
+	suite := GenerateSuite(SuiteConfig{NumGates: 1500, Patterns: 512, Designs: 2, Seed: 5})
+	if suite[0].Netlist.NumGates() == suite[1].Netlist.NumGates() &&
+		suite[0].Netlist.NumEdges() == suite[1].Netlist.NumEdges() {
+		t.Error("designs suspiciously identical in size")
+	}
+}
+
+func TestBalancedLabels(t *testing.T) {
+	suite := GenerateSuite(SuiteConfig{NumGates: 2500, Patterns: 1024, Designs: 1, Seed: 9})
+	g := suite[0].Graph
+	bal := BalancedLabels(g, 3)
+	pos, neg := 0, 0
+	for v, l := range bal {
+		switch l {
+		case 1:
+			pos++
+			if g.Labels[v] != 1 {
+				t.Fatal("balanced set flipped a label")
+			}
+		case 0:
+			neg++
+			if g.Labels[v] != 0 {
+				t.Fatal("balanced set flipped a label")
+			}
+		}
+	}
+	if pos == 0 || pos != neg {
+		t.Errorf("balanced set pos=%d neg=%d, want equal and nonzero", pos, neg)
+	}
+	// Deterministic given seed.
+	bal2 := BalancedLabels(g, 3)
+	for i := range bal {
+		if bal[i] != bal2[i] {
+			t.Fatal("BalancedLabels not deterministic")
+		}
+	}
+	// Different seed samples different negatives.
+	bal3 := BalancedLabels(g, 4)
+	same := true
+	for i := range bal {
+		if bal[i] != bal3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical balanced sets")
+	}
+	nodes := LabeledNodes(bal)
+	if len(nodes) != pos+neg {
+		t.Errorf("LabeledNodes = %d, want %d", len(nodes), pos+neg)
+	}
+}
+
+func TestLabelOnExistingNetlist(t *testing.T) {
+	n := netlist.New("tiny")
+	a := n.MustAddGate(netlist.Input, "a")
+	b := n.MustAddGate(netlist.Input, "b")
+	x := n.MustAddGate(netlist.And, "x", a, b)
+	n.MustAddGate(netlist.Output, "po", x)
+	bm := Label("tiny", n, 256, 0.01, 1)
+	if bm.Graph.N != 4 {
+		t.Fatalf("graph size %d", bm.Graph.N)
+	}
+	for _, l := range bm.Graph.Labels {
+		if l != 0 {
+			t.Error("fully observable circuit should have no positives")
+		}
+	}
+}

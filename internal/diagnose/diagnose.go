@@ -1,0 +1,149 @@
+// Package diagnose implements dictionary-based stuck-at fault diagnosis:
+// given the response of a failing device under a known pattern set, rank
+// candidate faults by how well their simulated faulty responses explain
+// the observation. Diagnosability is the motivation of observation point
+// insertion in reference [25] of the paper — more observation points
+// mean more distinguishing information per pattern — and this package
+// makes that effect measurable.
+package diagnose
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/netlist"
+)
+
+// Observation is a device response: per 64-pattern batch, the value
+// words at every observation sink.
+type Observation struct {
+	Seed    int64
+	Batches int
+	// Responses[b][s] is sink s's value word in batch b.
+	Responses [][]uint64
+}
+
+// Observe simulates the device with a (possibly present) fault and
+// records its responses; used to produce test fixtures and golden
+// references. Pass nil fault for a fault-free device.
+func Observe(n *netlist.Netlist, seed int64, batches int, f *fault.SAFault) Observation {
+	sim := fault.NewSimulator(n)
+	obs := Observation{Seed: seed, Batches: batches}
+	src := newSource(n, seed)
+	for b := 0; b < batches; b++ {
+		words := src.next()
+		get := func(id int32) uint64 { return words[id] }
+		if f == nil {
+			sim.BatchFrom(get)
+		} else {
+			sim.BatchWithFault(get, f.Node, f.StuckAt1)
+		}
+		obs.Responses = append(obs.Responses, sim.SinkResponses())
+	}
+	return obs
+}
+
+// Candidate is one ranked diagnosis candidate.
+type Candidate struct {
+	Fault fault.SAFault
+	// Mismatch counts response bits that differ between the candidate's
+	// prediction and the observation (0 = perfect explanation).
+	Mismatch int
+}
+
+// Diagnose ranks the candidate faults against the observation. The
+// fault-free machine is included implicitly: if the observation matches
+// the fault-free response exactly, the returned slice is empty.
+func Diagnose(n *netlist.Netlist, obs Observation, candidates []fault.SAFault) []Candidate {
+	sim := fault.NewSimulator(n)
+
+	// Fault-free reference; bail out early for a passing device.
+	src := newSource(n, obs.Seed)
+	passing := true
+	allWords := make([]map[int32]uint64, obs.Batches)
+	for b := 0; b < obs.Batches; b++ {
+		words := src.next()
+		allWords[b] = words
+		sim.BatchFrom(func(id int32) uint64 { return words[id] })
+		for s, w := range sim.SinkResponses() {
+			if w != obs.Responses[b][s] {
+				passing = false
+			}
+		}
+	}
+	if passing {
+		return nil
+	}
+
+	out := make([]Candidate, 0, len(candidates))
+	for _, f := range candidates {
+		mismatch := 0
+		for b := 0; b < obs.Batches; b++ {
+			words := allWords[b]
+			sim.BatchWithFault(func(id int32) uint64 { return words[id] }, f.Node, f.StuckAt1)
+			pred := sim.SinkResponses()
+			for s := range pred {
+				mismatch += bits.OnesCount64(pred[s] ^ obs.Responses[b][s])
+			}
+		}
+		out = append(out, Candidate{Fault: f, Mismatch: mismatch})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mismatch != out[j].Mismatch {
+			return out[i].Mismatch < out[j].Mismatch
+		}
+		if out[i].Fault.Node != out[j].Fault.Node {
+			return out[i].Fault.Node < out[j].Fault.Node
+		}
+		return !out[i].Fault.StuckAt1 && out[j].Fault.StuckAt1
+	})
+	return out
+}
+
+// Resolution reports how sharply an observation pins down the fault: the
+// number of candidates tied at the best mismatch score (1 = unique
+// diagnosis). More observation points typically improve it.
+func Resolution(ranked []Candidate) int {
+	if len(ranked) == 0 {
+		return 0
+	}
+	best := ranked[0].Mismatch
+	n := 0
+	for _, c := range ranked {
+		if c.Mismatch != best {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// sourceGen produces deterministic per-batch random source words from a
+// splitmix-style stream, independent of map iteration order.
+type sourceGen struct {
+	n    *netlist.Netlist
+	seed int64
+}
+
+func newSource(n *netlist.Netlist, seed int64) *sourceGen {
+	return &sourceGen{n: n, seed: seed}
+}
+
+func (g *sourceGen) next() map[int32]uint64 {
+	words := make(map[int32]uint64)
+	for _, id := range g.n.TopoOrder() {
+		if g.n.Type(id).IsControllableSource() {
+			words[id] = splitmix(&g.seed)
+		}
+	}
+	return words
+}
+
+func splitmix(state *int64) uint64 {
+	z := uint64(*state) + 0x9E3779B97F4A7C15
+	*state = int64(z)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

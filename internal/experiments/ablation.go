@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// StageAblationResult sweeps the cascade depth (Section 3.3's "after a
+// few stages, the remaining nodes should become relatively balanced"):
+// F1 on a held-out design as a function of the number of stages.
+type StageAblationResult struct {
+	Stages []int
+	F1     []float64
+}
+
+// StageAblation trains cascades of increasing depth on three designs and
+// scores F1 on the fourth. One stage is the class-weighted single model;
+// the paper uses three.
+func StageAblation(cfg Config, maxStages int) StageAblationResult {
+	cfg = cfg.withDefaults()
+	if maxStages <= 0 {
+		maxStages = 4
+	}
+	suite := cfg.suite()
+	test := len(suite) - 1
+	var graphs []*core.Graph
+	for d := range suite {
+		if d != test {
+			graphs = append(graphs, suite[d].Graph)
+		}
+	}
+	var res StageAblationResult
+	for s := 1; s <= maxStages; s++ {
+		mopt := core.DefaultMultiStageOptions()
+		mopt.NumStages = s
+		mopt.ModelCfg = cfg.modelConfig(3, cfg.Seed+23)
+		mopt.Train = cfg.trainOptions()
+		ms, err := core.TrainMultiStage(graphs, mopt)
+		if err != nil {
+			panic(err)
+		}
+		c := metrics.NewConfusion(ms.Predict(suite[test].Graph), suite[test].Graph.Labels)
+		res.Stages = append(res.Stages, s)
+		res.F1 = append(res.F1, c.F1())
+	}
+	return res
+}
+
+// Fprint writes the sweep.
+func (r StageAblationResult) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: cascade depth vs F1 (held-out design)")
+	fmt.Fprintf(w, "%8s %8s\n", "stages", "F1")
+	for i, s := range r.Stages {
+		fmt.Fprintf(w, "%8d %8.3f\n", s, r.F1[i])
+	}
+}

@@ -1,0 +1,99 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5) on the synthetic benchmark suite:
+//
+//	Table 1  — benchmark statistics (#Nodes, #Edges, #POS, #NEG)
+//	Figure 8 — training/testing accuracy vs. epoch for depth D ∈ {1,2,3}
+//	Table 2  — balanced-set accuracy of LR/RF/SVM/MLP vs. the GCN
+//	Figure 9 — F1 of single GCN vs. multi-stage GCN on imbalanced data
+//	Figure 10 — inference runtime: matrix formulation vs. recursion [12]
+//	Table 3  — OPI flow vs. industrial-tool baseline (#OPs/#patterns/coverage)
+//
+// Each experiment is a pure function from a Config to a typed result with
+// a printable report; cmd/experiments and the repository-level benchmarks
+// are thin wrappers over this package.
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Config scales every experiment. The zero value selects defaults that
+// complete in minutes on a single core; raise Size/Epochs toward
+// paper-scale as budget allows.
+type Config struct {
+	// Size is the approximate logic size of each benchmark design;
+	// default 4000 (Quick: 1200).
+	Size int
+	// Patterns is the labeling pattern budget; default 2048 (Quick: 1024).
+	Patterns int
+	// Epochs is the GCN training budget; default 200 (Quick: 30).
+	Epochs int
+	// Seed offsets all generation and initialization.
+	Seed int64
+	// Quick shrinks everything for smoke tests and benchmarks.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Quick {
+		if c.Size <= 0 {
+			c.Size = 1200
+		}
+		if c.Patterns <= 0 {
+			c.Patterns = 1024
+		}
+		if c.Epochs <= 0 {
+			c.Epochs = 30
+		}
+		return c
+	}
+	if c.Size <= 0 {
+		c.Size = 4000
+	}
+	if c.Patterns <= 0 {
+		c.Patterns = dataset.DefaultPatterns
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 200
+	}
+	return c
+}
+
+// suite builds the benchmark suite for the config (deterministic in
+// cfg.Seed).
+func (c Config) suite() []*dataset.Benchmark {
+	return dataset.GenerateSuite(dataset.SuiteConfig{
+		NumGates:  c.Size,
+		Patterns:  c.Patterns,
+		Threshold: dataset.DefaultThreshold,
+		Seed:      c.Seed,
+		Designs:   4,
+	})
+}
+
+// modelConfig returns the GCN architecture used throughout the
+// evaluation; Quick mode shrinks the embedding widths.
+func (c Config) modelConfig(depth int, seed int64) core.Config {
+	dims := []int{32, 64, 128}
+	fc := []int{64, 64, 128}
+	if c.Quick {
+		dims = []int{8, 16, 32}
+		fc = []int{16, 16}
+	}
+	if depth < len(dims) {
+		dims = dims[:depth]
+	}
+	return core.Config{Dims: dims, FCDims: fc, NumClasses: 2, Seed: seed}
+}
+
+// trainOptions returns the shared training recipe.
+func (c Config) trainOptions() core.TrainOptions {
+	return core.TrainOptions{
+		Epochs:   c.Epochs,
+		LR:       0.02,
+		Momentum: 0.9,
+		LRDecay:  0.995,
+		ClipNorm: 5,
+	}
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps the smoke tests fast; the statistical shape claims are
+// validated by the full-size runs recorded in EXPERIMENTS.md, while these
+// tests pin structure, determinism and sane ranges.
+func quickCfg() Config { return Config{Quick: true, Seed: 42} }
+
+func TestTable1Shape(t *testing.T) {
+	res := Table1(quickCfg())
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Nodes == 0 || r.Edges == 0 || r.POS == 0 {
+			t.Errorf("%s: degenerate row %+v", r.Design, r)
+		}
+		if r.POS+r.NEG != r.Nodes {
+			t.Errorf("%s: POS+NEG != Nodes", r.Design)
+		}
+		if float64(r.POS)/float64(r.Nodes) > 0.05 {
+			t.Errorf("%s: positive rate too high: %+v", r.Design, r)
+		}
+	}
+	var buf bytes.Buffer
+	res.Fprint(&buf)
+	if !strings.Contains(buf.String(), "B1") {
+		t.Error("printout missing design names")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res := Table2(quickCfg())
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		for _, m := range res.Models {
+			acc := r.Acc[m]
+			if acc < 0 || acc > 1 {
+				t.Errorf("%s/%s: accuracy %v out of range", r.Design, m, acc)
+			}
+		}
+	}
+	if res.Average["GCN"] < 0.55 {
+		t.Errorf("GCN average accuracy %.3f — should beat chance comfortably", res.Average["GCN"])
+	}
+	var buf bytes.Buffer
+	res.Fprint(&buf)
+	if !strings.Contains(buf.String(), "Average") {
+		t.Error("printout missing average row")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	res := Fig8(quickCfg())
+	if len(res.Curves) != 3 {
+		t.Fatalf("curves = %d", len(res.Curves))
+	}
+	for _, c := range res.Curves {
+		if len(c.Epochs) == 0 || len(c.Epochs) != len(c.TrainAcc) || len(c.Epochs) != len(c.TestAcc) {
+			t.Fatalf("D=%d: inconsistent series lengths", c.Depth)
+		}
+		for i := range c.TrainAcc {
+			if c.TrainAcc[i] < 0 || c.TrainAcc[i] > 1 || c.TestAcc[i] < 0 || c.TestAcc[i] > 1 {
+				t.Fatalf("D=%d: accuracy out of range", c.Depth)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	res.Fprint(&buf)
+	if !strings.Contains(buf.String(), "D=3") {
+		t.Error("printout missing depth curves")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	res := Fig9(quickCfg())
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	better := 0
+	for _, r := range res.Rows {
+		if r.SingleF1 < 0 || r.SingleF1 > 1 || r.MultiF1 < 0 || r.MultiF1 > 1 {
+			t.Errorf("%s: F1 out of range: %+v", r.Design, r)
+		}
+		if r.MultiF1 >= r.SingleF1 {
+			better++
+		}
+	}
+	// The cascade should win on most designs even at smoke-test scale.
+	if better < 2 {
+		t.Errorf("multi-stage won only %d/4 designs", better)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	res := Fig10(quickCfg())
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for i, p := range res.Points {
+		if p.MatrixSeconds <= 0 || p.RecursiveSeconds <= 0 {
+			t.Fatalf("point %d: non-positive times %+v", i, p)
+		}
+		if p.Speedup < 1 {
+			t.Errorf("matrix inference slower than recursion at %d nodes: %+v", p.Nodes, p)
+		}
+	}
+	// Both schemes are linear in N; the figure's point is the large
+	// constant factor between them, which must persist at every size.
+	for _, p := range res.Points {
+		if p.Speedup < 3 {
+			t.Errorf("speedup at %d nodes only %.1fx", p.Nodes, p.Speedup)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	res := Table3(quickCfg())
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		for _, ev := range []float64{r.ToolSCOAP.Coverage, r.ToolSim.Coverage, r.GCNFlow.Coverage} {
+			if ev <= 0 || ev > 1 {
+				t.Errorf("%s: coverage out of range: %+v", r.Design, r)
+			}
+		}
+	}
+	if res.OPRatioSCOAP <= 0 || res.OPRatioSim <= 0 {
+		t.Errorf("OP ratios %v / %v", res.OPRatioSCOAP, res.OPRatioSim)
+	}
+	var buf bytes.Buffer
+	res.Fprint(&buf)
+	if !strings.Contains(buf.String(), "ratios") {
+		t.Error("printout missing ratio row")
+	}
+	t.Logf("quick Table 3: OP ratio vs SCOAP %.2f, vs sim %.2f; coverage %.4f / %.4f / %.4f",
+		res.OPRatioSCOAP, res.OPRatioSim, res.CovSCOAP, res.CovSim, res.CovGCN)
+}
+
+func TestStageAblationShape(t *testing.T) {
+	res := StageAblation(quickCfg(), 2)
+	if len(res.Stages) != 2 || len(res.F1) != 2 {
+		t.Fatalf("sweep shape: %+v", res)
+	}
+	for _, f1 := range res.F1 {
+		if f1 < 0 || f1 > 1 {
+			t.Fatalf("F1 out of range: %v", f1)
+		}
+	}
+	var buf bytes.Buffer
+	res.Fprint(&buf)
+	if !strings.Contains(buf.String(), "stages") {
+		t.Error("printout missing header")
+	}
+}

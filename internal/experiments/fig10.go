@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/circuitgen"
+	"repro/internal/core"
+	"repro/internal/scoap"
+)
+
+// Fig10Point is one graph size's inference runtime under both schemes.
+type Fig10Point struct {
+	Nodes int
+	// MatrixSeconds is the measured full-graph matrix-inference time.
+	MatrixSeconds float64
+	// RecursiveSeconds is the full-graph recursion-based time ([12]),
+	// estimated from a node sample when Sampled is true (the method is
+	// embarrassingly per-node, so per-node cost × N is exact in
+	// expectation — running all nodes at the largest sizes is precisely
+	// the pathology the figure demonstrates).
+	RecursiveSeconds float64
+	Sampled          bool
+	Speedup          float64
+}
+
+// Fig10Result is the scalability sweep.
+type Fig10Result struct {
+	Points []Fig10Point
+}
+
+// Fig10 reproduces the inference-scalability comparison: graphs from 10³
+// to 10⁵ nodes by default (10⁶ reachable via cfg.Size), timed under the
+// sparse matrix formulation and under naive per-node recursion.
+func Fig10(cfg Config) Fig10Result {
+	cfg = cfg.withDefaults()
+	sizes := []int{1000, 3000, 10000, 30000, 100000}
+	sample := 64
+	if cfg.Quick {
+		sizes = []int{1000, 3000, 10000}
+		sample = 16
+	}
+	model := core.MustNewModel(cfg.modelConfig(3, cfg.Seed+1))
+
+	var res Fig10Result
+	for _, size := range sizes {
+		n := circuitgen.Generate(fmt.Sprintf("scale%d", size), circuitgen.Config{
+			Seed: cfg.Seed + int64(size), NumGates: size,
+		})
+		m := scoap.Compute(n)
+		g := core.FromNetlist(n, m)
+
+		// Warm the lazily built CSR forms, then take the best of three
+		// matrix passes to suppress allocator noise.
+		model.Forward(g)
+		matrixSec := 1e18
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			model.Forward(g)
+			if s := time.Since(start).Seconds(); s < matrixSec {
+				matrixSec = s
+			}
+		}
+
+		// Recursion: measure a random node sample and scale to the full
+		// graph (every node is classified independently).
+		rng := rand.New(rand.NewSource(cfg.Seed + 99))
+		nodes := make([]int32, sample)
+		for i := range nodes {
+			nodes[i] = int32(rng.Intn(g.N))
+		}
+		start := time.Now()
+		model.InferRecursive(g, nodes)
+		perNode := time.Since(start).Seconds() / float64(sample)
+		recSec := perNode * float64(g.N)
+
+		res.Points = append(res.Points, Fig10Point{
+			Nodes:            g.N,
+			MatrixSeconds:    matrixSec,
+			RecursiveSeconds: recSec,
+			Sampled:          true,
+			Speedup:          recSec / matrixSec,
+		})
+	}
+	return res
+}
+
+// Fprint writes the sweep (the figure's two series).
+func (r Fig10Result) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "Figure 10: Inference runtime, recursion [12] vs. matrix formulation (ours)")
+	fmt.Fprintf(w, "%10s %16s %16s %10s\n", "#nodes", "recursion (s)", "matrix (s)", "speedup")
+	for _, p := range r.Points {
+		note := ""
+		if p.Sampled {
+			note = " (recursion extrapolated from node sample)"
+		}
+		fmt.Fprintf(w, "%10d %16.4f %16.4f %9.0fx%s\n",
+			p.Nodes, p.RecursiveSeconds, p.MatrixSeconds, p.Speedup, note)
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Fig8Curve is one search depth's accuracy trajectory.
+type Fig8Curve struct {
+	Depth     int
+	Epochs    []int
+	TrainAcc  []float64
+	TestAcc   []float64
+	FinalTest float64
+}
+
+// Fig8Result holds the accuracy-vs-epoch curves for D = 1, 2, 3.
+type Fig8Result struct {
+	Curves []Fig8Curve
+}
+
+// Fig8 reproduces the search-depth study: train on three designs, test on
+// the fourth, and record training/testing accuracy over the epochs for
+// search depths 1, 2 and 3. The paper's conclusion — accuracy improves
+// with depth, D = 3 best — should re-emerge.
+func Fig8(cfg Config) Fig8Result {
+	cfg = cfg.withDefaults()
+	suite := cfg.suite()
+	test := len(suite) - 1
+
+	balanced := make([][]int, len(suite))
+	for i, b := range suite {
+		balanced[i] = dataset.BalancedLabels(b.Graph, cfg.Seed+int64(i)*31)
+	}
+	var graphs []*core.Graph
+	var labelSets [][]int
+	for d := range suite {
+		if d == test {
+			continue
+		}
+		graphs = append(graphs, suite[d].Graph)
+		labelSets = append(labelSets, balanced[d])
+	}
+
+	every := cfg.Epochs / 20
+	if every < 1 {
+		every = 1
+	}
+
+	var res Fig8Result
+	for depth := 1; depth <= 3; depth++ {
+		model := core.MustNewModel(cfg.modelConfig(depth, cfg.Seed+808))
+		curve := Fig8Curve{Depth: depth}
+		opt := cfg.trainOptions()
+		opt.OnEpoch = func(epoch int, m *core.Model) {
+			if epoch%every != 0 && epoch != opt.Epochs-1 {
+				return
+			}
+			var trainAcc float64
+			for i, g := range graphs {
+				trainAcc += core.Accuracy(m, g, labelSets[i])
+			}
+			trainAcc /= float64(len(graphs))
+			testAcc := core.Accuracy(m, suite[test].Graph, balanced[test])
+			curve.Epochs = append(curve.Epochs, epoch)
+			curve.TrainAcc = append(curve.TrainAcc, trainAcc)
+			curve.TestAcc = append(curve.TestAcc, testAcc)
+		}
+		if _, err := core.Train(model, graphs, labelSets, opt); err != nil {
+			panic(err)
+		}
+		if n := len(curve.TestAcc); n > 0 {
+			curve.FinalTest = curve.TestAcc[n-1]
+		}
+		res.Curves = append(res.Curves, curve)
+	}
+	return res
+}
+
+// Fprint writes the curves as aligned series (the figure's data).
+func (r Fig8Result) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "Figure 8: Performance with different search depth D")
+	for _, c := range r.Curves {
+		fmt.Fprintf(w, "D=%d (final test accuracy %.3f)\n", c.Depth, c.FinalTest)
+		fmt.Fprintf(w, "  %-8s %-10s %-10s\n", "epoch", "train_acc", "test_acc")
+		for i, e := range c.Epochs {
+			fmt.Fprintf(w, "  %-8d %-10.3f %-10.3f\n", e, c.TrainAcc[i], c.TestAcc[i])
+		}
+	}
+}

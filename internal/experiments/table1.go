@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Table1Row is one design's statistics line.
+type Table1Row struct {
+	Design string
+	Nodes  int
+	Edges  int
+	POS    int
+	NEG    int
+}
+
+// Table1Result is the full benchmark statistics table.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 generates the benchmark suite and gathers its statistics,
+// reproducing the paper's Table 1.
+func Table1(cfg Config) Table1Result {
+	cfg = cfg.withDefaults()
+	var res Table1Result
+	for _, b := range cfg.suite() {
+		nodes, edges, pos, neg := b.Stats()
+		res.Rows = append(res.Rows, Table1Row{
+			Design: b.Name, Nodes: nodes, Edges: edges, POS: pos, NEG: neg,
+		})
+	}
+	return res
+}
+
+// Fprint writes the table in the paper's layout.
+func (r Table1Result) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: Statistics of benchmarks")
+	fmt.Fprintf(w, "%-8s %10s %10s %8s %10s\n", "Design", "#Nodes", "#Edges", "#POS", "#NEG")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8s %10d %10d %8d %10d\n", row.Design, row.Nodes, row.Edges, row.POS, row.NEG)
+	}
+}

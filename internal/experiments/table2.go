@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// Table2Row holds one design's balanced-set accuracy per model
+// (leave-one-design-out: the row's design is the test set).
+type Table2Row struct {
+	Design string
+	Acc    map[string]float64 // model name → accuracy
+}
+
+// Table2Result is the full classifier comparison.
+type Table2Result struct {
+	Rows    []Table2Row
+	Models  []string
+	Average map[string]float64
+}
+
+// Table2 reproduces the accuracy comparison on balanced datasets:
+// classical models (LR, RF, SVM, MLP) on 4004-dimensional cone features
+// versus the GCN on the raw graph, with three designs for training and
+// the fourth for testing, rotating through all four designs.
+func Table2(cfg Config) Table2Result {
+	cfg = cfg.withDefaults()
+	suite := cfg.suite()
+	coneSize := features.DefaultConeSize
+	if cfg.Quick {
+		coneSize = 50
+	}
+
+	res := Table2Result{
+		Models:  []string{"LR", "RF", "SVM", "MLP", "GCN"},
+		Average: make(map[string]float64),
+	}
+
+	// Balanced label sets and cone features per design (built once).
+	balanced := make([][]int, len(suite))
+	nodeLists := make([][]int32, len(suite))
+	featMats := make([]*tensor.Dense, len(suite))
+	for i, b := range suite {
+		balanced[i] = dataset.BalancedLabels(b.Graph, cfg.Seed+int64(i)*31)
+		nodeLists[i] = dataset.LabeledNodes(balanced[i])
+		ex := features.NewExtractor(b.Netlist, b.Measures)
+		ex.ConeSize = coneSize
+		featMats[i] = ex.Matrix(nodeLists[i])
+	}
+
+	for test := range suite {
+		row := Table2Row{Design: suite[test].Name, Acc: make(map[string]float64)}
+
+		// Assemble classical train/test matrices.
+		var trainRows [][]float64
+		var trainY []int
+		for d := range suite {
+			if d == test {
+				continue
+			}
+			for k, v := range nodeLists[d] {
+				trainRows = append(trainRows, featMats[d].Row(k))
+				trainY = append(trainY, balanced[d][v])
+			}
+		}
+		trainX := tensor.FromRows(trainRows)
+		testX := featMats[test]
+		testY := make([]int, len(nodeLists[test]))
+		for k, v := range nodeLists[test] {
+			testY[k] = balanced[test][v]
+		}
+
+		mlpEpochs := 120
+		if cfg.Quick {
+			mlpEpochs = 40
+		}
+		models := []baselines.Classifier{
+			&baselines.LogisticRegression{},
+			&baselines.RandomForest{Seed: cfg.Seed + 101, NumTrees: 40},
+			&baselines.LinearSVM{Seed: cfg.Seed + 202},
+			&baselines.MLP{Seed: cfg.Seed + 303, Epochs: mlpEpochs},
+		}
+		for _, m := range models {
+			m.Fit(trainX, trainY)
+			c := metrics.NewConfusion(m.Predict(testX), testY)
+			row.Acc[m.Name()] = c.Accuracy()
+		}
+
+		// GCN: train on the three graphs with balanced masked labels.
+		var graphs []*core.Graph
+		var labelSets [][]int
+		for d := range suite {
+			if d == test {
+				continue
+			}
+			graphs = append(graphs, suite[d].Graph)
+			labelSets = append(labelSets, balanced[d])
+		}
+		gcn := core.MustNewModel(cfg.modelConfig(3, cfg.Seed+404))
+		if _, err := core.Train(gcn, graphs, labelSets, cfg.trainOptions()); err != nil {
+			panic(err)
+		}
+		row.Acc["GCN"] = core.Accuracy(gcn, suite[test].Graph, balanced[test])
+
+		res.Rows = append(res.Rows, row)
+	}
+
+	for _, m := range res.Models {
+		var sum float64
+		for _, row := range res.Rows {
+			sum += row.Acc[m]
+		}
+		res.Average[m] = sum / float64(len(res.Rows))
+	}
+	return res
+}
+
+// Fprint writes the table in the paper's layout.
+func (r Table2Result) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "Table 2: Accuracy comparison on balanced dataset")
+	fmt.Fprintf(w, "%-8s", "Design")
+	for _, m := range r.Models {
+		fmt.Fprintf(w, " %8s", m)
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8s", row.Design)
+		for _, m := range r.Models {
+			fmt.Fprintf(w, " %8.3f", row.Acc[m])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-8s", "Average")
+	for _, m := range r.Models {
+		fmt.Fprintf(w, " %8.3f", r.Average[m])
+	}
+	fmt.Fprintln(w)
+}

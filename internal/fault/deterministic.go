@@ -1,0 +1,212 @@
+package fault
+
+import (
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"repro/internal/atpg"
+	"repro/internal/netlist"
+)
+
+// This file combines the random-pattern generator with deterministic
+// PODEM top-up, mirroring commercial ATPG practice: random patterns with
+// fault dropping knock out the easy faults, then each surviving fault is
+// targeted individually. Generated deterministic patterns are packed 64
+// per word, their unassigned inputs filled randomly, and replayed through
+// the bit-parallel simulator so that one targeted pattern can drop many
+// other faults for free.
+
+// ATPGResult extends TPGResult with the deterministic phase's outcome.
+type ATPGResult struct {
+	TPGResult
+	// DeterministicPatterns counts the PODEM patterns that detected at
+	// least one new fault when replayed.
+	DeterministicPatterns int
+	// ProvedUntestable counts faults PODEM exhausted without a test.
+	ProvedUntestable int
+	// Aborted counts faults abandoned at the backtrack limit.
+	Aborted int
+	// TestCoverage is Detected / (TotalFaults - ProvedUntestable), the
+	// number commercial tools quote as coverage of testable faults.
+	TestCoverage float64
+}
+
+// ATPGConfig controls the combined flow.
+type ATPGConfig struct {
+	Random TPGConfig
+	// BacktrackLimit bounds each PODEM search; default 200.
+	BacktrackLimit int
+	// MaxTargets bounds how many residual faults are targeted; 0 means
+	// all of them.
+	MaxTargets int
+}
+
+// GenerateTestsWithATPG runs random-pattern generation followed by
+// deterministic top-up and returns the combined metrics.
+func GenerateTestsWithATPG(n *netlist.Netlist, cfg ATPGConfig) ATPGResult {
+	base := GenerateTests(n, cfg.Random)
+	res := ATPGResult{TPGResult: base}
+
+	// Re-derive the surviving fault list: GenerateTests only samples the
+	// survivors, so replay the random phase's bookkeeping.
+	order := survivors(n, cfg.Random)
+	liveSet := make(map[SAFault]bool, len(order))
+	for _, f := range order {
+		liveSet[f] = true
+	}
+
+	gen := atpg.NewGenerator(n)
+	if cfg.BacktrackLimit > 0 {
+		gen.BacktrackLimit = cfg.BacktrackLimit
+	}
+	rng := rand.New(rand.NewSource(cfg.Random.Seed + 0x5eed))
+	sim := NewSimulator(n)
+
+	// Pattern packing: one word per source cell, lanes are patterns.
+	words := make(map[int32]uint64)
+	lane := 0
+
+	flush := func() {
+		if lane == 0 {
+			return
+		}
+		sim.BatchFrom(func(id int32) uint64 {
+			if w, ok := words[id]; ok {
+				return w
+			}
+			return rng.Uint64() // source untouched by any packed pattern
+		})
+		vals, obs := sim.Values(), sim.Obs()
+		mask := ^uint64(0)
+		if lane < WordSize {
+			mask = (1 << uint(lane)) - 1
+		}
+		var detectedLanes uint64
+		for f := range liveSet {
+			m := obs[f.Node] & mask
+			if f.StuckAt1 {
+				m &= ^vals[f.Node]
+			} else {
+				m &= vals[f.Node]
+			}
+			if m != 0 {
+				delete(liveSet, f)
+				detectedLanes |= 1 << uint(bits.TrailingZeros64(m))
+			}
+		}
+		res.DeterministicPatterns += bits.OnesCount64(detectedLanes)
+		words = make(map[int32]uint64)
+		lane = 0
+	}
+
+	targeted := 0
+	for _, f := range order {
+		if !liveSet[f] {
+			continue // dropped by an earlier deterministic pattern
+		}
+		if cfg.MaxTargets > 0 && targeted >= cfg.MaxTargets {
+			break
+		}
+		targeted++
+		r := gen.Generate(atpg.Fault{Node: f.Node, StuckAt1: f.StuckAt1})
+		switch {
+		case r.Success:
+			// Iterate the pattern in sorted key order: the RNG fills in
+			// X bits along the way, and map order would make the run
+			// nondeterministic.
+			keys := make([]int32, 0, len(r.Pattern))
+			for id := range r.Pattern {
+				keys = append(keys, id)
+			}
+			sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+			for _, id := range keys {
+				v := r.Pattern[id]
+				bit := uint64(0)
+				switch v {
+				case atpg.One:
+					bit = 1
+				case atpg.X:
+					bit = rng.Uint64() & 1
+				}
+				w, ok := words[id]
+				if !ok {
+					// Earlier lanes of this word were implicit random
+					// filler; materialize them so they stay fixed.
+					w = rng.Uint64() & ((1 << uint(lane)) - 1)
+				}
+				w = (w &^ (1 << uint(lane))) | (bit << uint(lane))
+				words[id] = w
+			}
+			lane++
+			if lane == WordSize {
+				flush()
+			}
+		case r.Aborted:
+			res.Aborted++
+		default:
+			res.ProvedUntestable++
+			delete(liveSet, f)
+		}
+	}
+	flush()
+
+	res.Detected = res.TotalFaults - len(liveSet) - res.ProvedUntestable
+	res.Coverage = float64(res.Detected) / float64(max(1, res.TotalFaults))
+	testable := res.TotalFaults - res.ProvedUntestable
+	res.TestCoverage = float64(res.Detected) / float64(max(1, testable))
+	res.PatternsUsed = base.PatternsUsed + res.DeterministicPatterns
+	res.UndetectedSample = res.UndetectedSample[:0]
+	for f := range liveSet {
+		if len(res.UndetectedSample) >= 16 {
+			break
+		}
+		res.UndetectedSample = append(res.UndetectedSample, f)
+	}
+	return res
+}
+
+// survivors re-runs the random phase's detection bookkeeping to recover
+// the undetected fault list (GenerateTests reports only counts).
+func survivors(n *netlist.Netlist, cfg TPGConfig) []SAFault {
+	cfg = cfg.withDefaults()
+	sim := NewSimulator(n)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	live := FaultUniverse(n)
+	words := (cfg.MaxPatterns + WordSize - 1) / WordSize
+	stall := 0
+	total := len(live)
+	for w := 0; w < words && len(live) > 0; w++ {
+		sim.Batch(rng)
+		vals, obs := sim.Values(), sim.Obs()
+		kept := live[:0]
+		detected := 0
+		for _, f := range live {
+			mask := obs[f.Node]
+			if f.StuckAt1 {
+				mask &= ^vals[f.Node]
+			} else {
+				mask &= vals[f.Node]
+			}
+			if mask == 0 {
+				kept = append(kept, f)
+			} else {
+				detected++
+			}
+		}
+		live = kept
+		if detected == 0 {
+			stall++
+			if stall >= cfg.StallWords {
+				break
+			}
+		} else {
+			stall = 0
+		}
+		if cfg.TargetCoverage > 0 &&
+			float64(total-len(live)) >= cfg.TargetCoverage*float64(total) {
+			break
+		}
+	}
+	return live
+}

@@ -1,0 +1,86 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/circuitgen"
+	"repro/internal/netlist"
+)
+
+func TestATPGTopUpImprovesCoverage(t *testing.T) {
+	// A design with guarded funnels: random patterns plateau below full
+	// coverage; PODEM must close most of the gap.
+	n := circuitgen.Generate("atpg", circuitgen.Config{
+		Seed: 17, NumGates: 2000, ShadowFunnels: 8, ShadowGuard: 4,
+	})
+	random := GenerateTests(n, TPGConfig{MaxPatterns: 1024, Seed: 3})
+	combined := GenerateTestsWithATPG(n, ATPGConfig{
+		Random:         TPGConfig{MaxPatterns: 1024, Seed: 3},
+		BacktrackLimit: 2000,
+	})
+	if combined.Coverage <= random.Coverage {
+		t.Errorf("deterministic top-up did not improve coverage: %.4f -> %.4f",
+			random.Coverage, combined.Coverage)
+	}
+	if combined.TestCoverage < combined.Coverage {
+		t.Errorf("test coverage %.4f below raw coverage %.4f",
+			combined.TestCoverage, combined.Coverage)
+	}
+	if combined.TestCoverage < 0.995 {
+		t.Errorf("testable coverage after ATPG = %.4f, want ≈ 1 (aborted=%d)",
+			combined.TestCoverage, combined.Aborted)
+	}
+	if combined.PatternsUsed < random.PatternsUsed {
+		t.Errorf("combined pattern count %d below random-only %d",
+			combined.PatternsUsed, random.PatternsUsed)
+	}
+	t.Logf("random %.4f -> combined %.4f (det patterns %d, untestable %d, aborted %d)",
+		random.Coverage, combined.Coverage, combined.DeterministicPatterns,
+		combined.ProvedUntestable, combined.Aborted)
+}
+
+func TestATPGFindsRedundancy(t *testing.T) {
+	// OR(a, NOT(a)) is constant-1: its s-a-1 is redundant and must be
+	// proved untestable rather than dragging coverage down.
+	n := netlist.New("red")
+	a := n.MustAddGate(netlist.Input, "a")
+	inv := n.MustAddGate(netlist.Not, "inv", a)
+	z := n.MustAddGate(netlist.Or, "z", a, inv)
+	n.MustAddGate(netlist.Output, "po", z)
+	res := GenerateTestsWithATPG(n, ATPGConfig{
+		Random: TPGConfig{MaxPatterns: 256, Seed: 1, StallWords: 2},
+	})
+	if res.ProvedUntestable == 0 {
+		t.Errorf("redundant fault not proved: %+v", res)
+	}
+	if res.TestCoverage != 1 {
+		t.Errorf("test coverage = %v, want 1 once redundancy is excluded", res.TestCoverage)
+	}
+}
+
+func TestATPGDeterministic(t *testing.T) {
+	n := circuitgen.Generate("det", circuitgen.Config{Seed: 18, NumGates: 800, ShadowFunnels: 4})
+	a := GenerateTestsWithATPG(n, ATPGConfig{Random: TPGConfig{MaxPatterns: 512, Seed: 5}})
+	b := GenerateTestsWithATPG(n, ATPGConfig{Random: TPGConfig{MaxPatterns: 512, Seed: 5}})
+	if a.Detected != b.Detected || a.PatternsUsed != b.PatternsUsed ||
+		a.ProvedUntestable != b.ProvedUntestable {
+		t.Errorf("nondeterministic ATPG: %+v vs %+v", a, b)
+	}
+}
+
+func TestATPGMaxTargets(t *testing.T) {
+	n := circuitgen.Generate("cap", circuitgen.Config{
+		Seed: 19, NumGates: 1500, ShadowFunnels: 10, ShadowGuard: 5,
+	})
+	capped := GenerateTestsWithATPG(n, ATPGConfig{
+		Random:     TPGConfig{MaxPatterns: 256, Seed: 7, StallWords: 2},
+		MaxTargets: 3,
+	})
+	uncapped := GenerateTestsWithATPG(n, ATPGConfig{
+		Random: TPGConfig{MaxPatterns: 256, Seed: 7, StallWords: 2},
+	})
+	if capped.Detected > uncapped.Detected {
+		t.Errorf("capped run detected more (%d) than uncapped (%d)",
+			capped.Detected, uncapped.Detected)
+	}
+}

@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// This file provides exact serial fault simulation: the circuit is
+// re-simulated with a fault injected, and detection is an actual
+// response difference at an observation sink. It is the ground truth
+// against which the fast critical-path-tracing criterion used by
+// GenerateTests can be validated, and the engine behind fault
+// diagnosis.
+
+// BatchWithFault simulates one 64-pattern batch with a stuck-at fault
+// forced at the given node (values only; no observability pass). Source
+// words come from the source function, so fault-free and faulty runs can
+// share identical patterns.
+func (s *Simulator) BatchWithFault(source func(id int32) uint64, node int32, stuckAt1 bool) {
+	n := s.n
+	vals := s.vals
+	forced := uint64(0)
+	if stuckAt1 {
+		forced = ^uint64(0)
+	}
+	for _, id := range s.order {
+		g := n.Gate(id)
+		switch g.Type {
+		case netlist.Input, netlist.DFF:
+			vals[id] = source(id)
+		case netlist.Output, netlist.Obs, netlist.Buf:
+			vals[id] = vals[g.Fanin[0]]
+		case netlist.Not:
+			vals[id] = ^vals[g.Fanin[0]]
+		case netlist.And, netlist.Nand:
+			v := vals[g.Fanin[0]]
+			for _, f := range g.Fanin[1:] {
+				v &= vals[f]
+			}
+			if g.Type == netlist.Nand {
+				v = ^v
+			}
+			vals[id] = v
+		case netlist.Or, netlist.Nor:
+			v := vals[g.Fanin[0]]
+			for _, f := range g.Fanin[1:] {
+				v |= vals[f]
+			}
+			if g.Type == netlist.Nor {
+				v = ^v
+			}
+			vals[id] = v
+		case netlist.Xor, netlist.Xnor:
+			v := vals[g.Fanin[0]]
+			for _, f := range g.Fanin[1:] {
+				v ^= vals[f]
+			}
+			if g.Type == netlist.Xnor {
+				v = ^v
+			}
+			vals[id] = v
+		}
+		if id == node {
+			vals[id] = forced
+		}
+	}
+}
+
+// SinkResponses collects the current value words at every observation
+// sink (in sink ID order); the comparable unit of exact detection.
+func (s *Simulator) SinkResponses() []uint64 {
+	var out []uint64
+	for id := int32(0); id < int32(s.n.NumGates()); id++ {
+		if s.n.Type(id).IsObservationSink() {
+			out = append(out, s.vals[s.n.Fanin(id)[0]])
+		}
+	}
+	return out
+}
+
+// ExactDetectMask runs fault-free and faulty simulations of one pattern
+// batch and returns, per pattern lane, whether any sink differs.
+func ExactDetectMask(n *netlist.Netlist, seed int64, batch int, node int32, stuckAt1 bool) uint64 {
+	words := sourceWords(n, seed, batch)
+	src := func(id int32) uint64 { return words[id] }
+
+	sim := NewSimulator(n)
+	sim.BatchFrom(src)
+	good := sim.SinkResponses()
+	sim.BatchWithFault(src, node, stuckAt1)
+	bad := sim.SinkResponses()
+
+	var mask uint64
+	for i := range good {
+		mask |= good[i] ^ bad[i]
+	}
+	return mask
+}
+
+// sourceWords reproduces the random source assignment of the given
+// (seed, batch) pair as used by Batch with a fresh rand.Rand: sources
+// draw words in topological order, one batch after another.
+func sourceWords(n *netlist.Netlist, seed int64, batch int) map[int32]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	var out map[int32]uint64
+	for b := 0; b <= batch; b++ {
+		out = make(map[int32]uint64)
+		for _, id := range n.TopoOrder() {
+			if n.Type(id).IsControllableSource() {
+				out[id] = rng.Uint64()
+			}
+		}
+	}
+	return out
+}

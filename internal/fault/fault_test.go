@@ -1,0 +1,280 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuitgen"
+	"repro/internal/netlist"
+)
+
+// scalarEval computes the fault-free value of every cell for one pattern
+// given PI/DFF assignments; the reference for the bit-parallel simulator.
+func scalarEval(n *netlist.Netlist, sources map[int32]bool) []bool {
+	vals := make([]bool, n.NumGates())
+	for _, id := range n.TopoOrder() {
+		g := n.Gate(id)
+		switch g.Type {
+		case netlist.Input, netlist.DFF:
+			vals[id] = sources[id]
+		case netlist.Output, netlist.Obs, netlist.Buf:
+			vals[id] = vals[g.Fanin[0]]
+		case netlist.Not:
+			vals[id] = !vals[g.Fanin[0]]
+		case netlist.And, netlist.Nand:
+			v := true
+			for _, f := range g.Fanin {
+				v = v && vals[f]
+			}
+			vals[id] = v != (g.Type == netlist.Nand)
+		case netlist.Or, netlist.Nor:
+			v := false
+			for _, f := range g.Fanin {
+				v = v || vals[f]
+			}
+			vals[id] = v != (g.Type == netlist.Nor)
+		case netlist.Xor, netlist.Xnor:
+			v := false
+			for _, f := range g.Fanin {
+				v = v != vals[f]
+			}
+			vals[id] = v != (g.Type == netlist.Xnor)
+		}
+	}
+	return vals
+}
+
+func TestBatchMatchesScalarSimulation(t *testing.T) {
+	f := func(seed int64) bool {
+		n := circuitgen.Generate("q", circuitgen.Config{Seed: seed, NumGates: 300})
+		sim := NewSimulator(n)
+		rng := rand.New(rand.NewSource(seed))
+		// Mirror the simulator's source assignment with a cloned RNG.
+		refRng := rand.New(rand.NewSource(seed))
+		sim.Batch(rng)
+		words := make(map[int32]uint64)
+		for _, id := range n.TopoOrder() {
+			typ := n.Type(id)
+			if typ == netlist.Input || typ == netlist.DFF {
+				words[id] = refRng.Uint64()
+			}
+		}
+		// Check three random bit positions.
+		bitRng := rand.New(rand.NewSource(seed + 1))
+		for trial := 0; trial < 3; trial++ {
+			bit := uint(bitRng.Intn(64))
+			sources := make(map[int32]bool)
+			for id, w := range words {
+				sources[id] = (w>>bit)&1 == 1
+			}
+			ref := scalarEval(n, sources)
+			for id := int32(0); id < int32(n.NumGates()); id++ {
+				got := (sim.Values()[id]>>bit)&1 == 1
+				if got != ref[id] {
+					t.Logf("seed %d bit %d: cell %d (%v) got %v want %v",
+						seed, bit, id, n.Type(id), got, ref[id])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObservabilityHandCase(t *testing.T) {
+	// a AND b -> PO. a is observable exactly when b = 1.
+	n := netlist.New("h")
+	a := n.MustAddGate(netlist.Input, "a")
+	b := n.MustAddGate(netlist.Input, "b")
+	g := n.MustAddGate(netlist.And, "g", a, b)
+	n.MustAddGate(netlist.Output, "po", g)
+	sim := NewSimulator(n)
+	sim.Batch(rand.New(rand.NewSource(3)))
+	vals, obs := sim.Values(), sim.Obs()
+	if obs[g] != ^uint64(0) {
+		t.Errorf("PO net observability = %x, want all ones", obs[g])
+	}
+	if obs[a] != vals[b] {
+		t.Errorf("obs(a) = %x, want vals(b) = %x", obs[a], vals[b])
+	}
+	if obs[b] != vals[a] {
+		t.Errorf("obs(b) = %x, want vals(a) = %x", obs[b], vals[a])
+	}
+}
+
+func TestObservabilityOrAndXor(t *testing.T) {
+	// OR: side must be 0. XOR: always observable.
+	n := netlist.New("h2")
+	a := n.MustAddGate(netlist.Input, "a")
+	b := n.MustAddGate(netlist.Input, "b")
+	c := n.MustAddGate(netlist.Input, "c")
+	o := n.MustAddGate(netlist.Or, "o", a, b)
+	x := n.MustAddGate(netlist.Xor, "x", o, c)
+	n.MustAddGate(netlist.Output, "po", x)
+	sim := NewSimulator(n)
+	sim.Batch(rand.New(rand.NewSource(5)))
+	vals, obs := sim.Values(), sim.Obs()
+	if obs[o] != ^uint64(0) || obs[c] != ^uint64(0) {
+		t.Errorf("XOR inputs should always be observable")
+	}
+	if obs[a] != ^vals[b] {
+		t.Errorf("obs(a) = %x, want ^vals(b) = %x", obs[a], ^vals[b])
+	}
+}
+
+func TestDFFScanBoundaryObservability(t *testing.T) {
+	n := netlist.New("dff")
+	a := n.MustAddGate(netlist.Input, "a")
+	b := n.MustAddGate(netlist.Input, "b")
+	g := n.MustAddGate(netlist.And, "g", a, b)
+	q := n.MustAddGate(netlist.DFF, "q", g)
+	n.MustAddGate(netlist.Output, "po", q)
+	sim := NewSimulator(n)
+	sim.Batch(rand.New(rand.NewSource(7)))
+	if sim.Obs()[g] != ^uint64(0) {
+		t.Error("scan flop data input should be fully observable")
+	}
+}
+
+func TestObservationPointMakesNetObservable(t *testing.T) {
+	// A net blocked by an AND guard is rarely observable; adding an OP
+	// makes it always observable.
+	n := netlist.New("op")
+	a := n.MustAddGate(netlist.Input, "a")
+	guards := make([]int32, 4)
+	for i := range guards {
+		guards[i] = n.MustAddGate(netlist.Input, "")
+	}
+	blocked := n.MustAddGate(netlist.Not, "blocked", a)
+	cur := blocked
+	for _, g := range guards {
+		cur = n.MustAddGate(netlist.And, "", cur, g)
+	}
+	n.MustAddGate(netlist.Output, "po", cur)
+
+	counts := ObservabilityCounts(n, 2048, 1)
+	// P(all guards = 1) = 1/16, so roughly 128 of 2048 patterns.
+	if counts[blocked] > 400 {
+		t.Errorf("blocked net observed %d/2048, want sparse", counts[blocked])
+	}
+	if _, err := n.InsertObservationPoint(blocked); err != nil {
+		t.Fatal(err)
+	}
+	counts2 := ObservabilityCounts(n, 2048, 1)
+	if counts2[blocked] != 2048 {
+		t.Errorf("after OP, observed %d/2048, want all", counts2[blocked])
+	}
+}
+
+func TestLabelDifficult(t *testing.T) {
+	n := circuitgen.Generate("lab", circuitgen.Config{Seed: 2, NumGates: 4000, ShadowFunnels: 8})
+	counts := ObservabilityCounts(n, 2048, 9)
+	labels := LabelDifficult(n, counts, 2048, 0.005)
+	pos, neg := 0, 0
+	for id, l := range labels {
+		switch n.Type(int32(id)) {
+		case netlist.Output, netlist.Obs, netlist.Input:
+			if l != 0 {
+				t.Fatalf("sink/input %d labeled positive", id)
+			}
+		}
+		if l == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 {
+		t.Fatal("no difficult nodes found; generator or labeling broken")
+	}
+	frac := float64(pos) / float64(pos+neg)
+	if frac > 0.2 {
+		t.Errorf("positive fraction = %.3f, want highly imbalanced", frac)
+	}
+	t.Logf("labels: %d positive / %d negative (%.2f%%)", pos, neg, 100*frac)
+}
+
+func TestGenerateTestsDetectsSimpleCircuit(t *testing.T) {
+	// Small transparent circuit: everything should be covered quickly.
+	n := netlist.New("cov")
+	a := n.MustAddGate(netlist.Input, "a")
+	b := n.MustAddGate(netlist.Input, "b")
+	x := n.MustAddGate(netlist.Xor, "x", a, b)
+	y := n.MustAddGate(netlist.Not, "y", x)
+	n.MustAddGate(netlist.Output, "po", y)
+	res := GenerateTests(n, TPGConfig{MaxPatterns: 1024, Seed: 1})
+	if res.Coverage != 1 {
+		t.Errorf("coverage = %v, want 1 (undetected: %v)", res.Coverage, res.UndetectedSample)
+	}
+	if res.PatternsUsed == 0 || res.PatternsUsed > res.PatternsSimulated {
+		t.Errorf("patterns used = %d of %d", res.PatternsUsed, res.PatternsSimulated)
+	}
+}
+
+func TestGenerateTestsOPImprovesCoverage(t *testing.T) {
+	n := circuitgen.Generate("c", circuitgen.Config{Seed: 4, NumGates: 3000, ShadowFunnels: 6, ShadowGuard: 4})
+	cfg := TPGConfig{MaxPatterns: 4096, Seed: 2}
+	before := GenerateTests(n, cfg)
+
+	// Insert OPs at all difficult nodes (brute force).
+	counts := ObservabilityCounts(n, 2048, 3)
+	labels := LabelDifficult(n, counts, 2048, 0.005)
+	inserted := 0
+	for id, l := range labels {
+		if l == 1 {
+			if _, err := n.InsertObservationPoint(int32(id)); err == nil {
+				inserted++
+			}
+		}
+	}
+	if inserted == 0 {
+		t.Skip("no difficult nodes in this configuration")
+	}
+	after := GenerateTests(n, cfg)
+	if after.Coverage <= before.Coverage {
+		t.Errorf("OPs did not improve coverage: %.4f -> %.4f (%d OPs)",
+			before.Coverage, after.Coverage, inserted)
+	}
+	t.Logf("coverage %.4f -> %.4f with %d OPs", before.Coverage, after.Coverage, inserted)
+}
+
+func TestFaultUniverseExcludesSinks(t *testing.T) {
+	n := netlist.New("u")
+	a := n.MustAddGate(netlist.Input, "a")
+	n.MustAddGate(netlist.Output, "po", a)
+	faults := FaultUniverse(n)
+	if len(faults) != 2 {
+		t.Fatalf("universe = %v, want 2 faults on the PI only", faults)
+	}
+}
+
+func TestGenerateTestsDeterministic(t *testing.T) {
+	n := circuitgen.Generate("d", circuitgen.Config{Seed: 6, NumGates: 1000})
+	a := GenerateTests(n, TPGConfig{MaxPatterns: 2048, Seed: 11})
+	b := GenerateTests(n, TPGConfig{MaxPatterns: 2048, Seed: 11})
+	if a.Detected != b.Detected || a.PatternsUsed != b.PatternsUsed {
+		t.Errorf("nondeterministic TPG: %+v vs %+v", a, b)
+	}
+}
+
+func BenchmarkBatch20k(b *testing.B) {
+	n := circuitgen.Generate("b", circuitgen.Config{Seed: 1, NumGates: 20000})
+	sim := NewSimulator(n)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Batch(rng)
+	}
+}
+
+func BenchmarkGenerateTests(b *testing.B) {
+	n := circuitgen.Generate("b", circuitgen.Config{Seed: 1, NumGates: 5000})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GenerateTests(n, TPGConfig{MaxPatterns: 2048, Seed: int64(i)})
+	}
+}

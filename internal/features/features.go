@@ -1,0 +1,78 @@
+// Package features builds the fixed-dimension handcrafted feature
+// vectors the paper feeds to classical machine learning baselines
+// (Section 5): starting from a target node, breadth-first search collects
+// up to 500 nodes from the fan-in cone and 500 from the fan-out cone, and
+// the 4-dimensional attribute vectors of target + cone nodes are
+// concatenated into a (500+500+1)×4 = 4004-dimensional vector, zero
+// padded when a cone is smaller.
+//
+// This is precisely the manual feature engineering the GCN renders
+// unnecessary — the baselines consume it, the GCN consumes only the raw
+// graph.
+package features
+
+import (
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/scoap"
+	"repro/internal/tensor"
+)
+
+// DefaultConeSize is the paper's 500-node cone budget.
+const DefaultConeSize = 500
+
+// Dim returns the feature dimensionality for a given cone size.
+func Dim(coneSize int) int { return (2*coneSize + 1) * core.InputDim }
+
+// Extractor caches the per-netlist state needed to build cone features.
+type Extractor struct {
+	n        *netlist.Netlist
+	attrs    [][4]float64
+	ConeSize int
+}
+
+// NewExtractor prepares an extractor; attributes use the same log1p
+// transform as the GCN input so both model families see identically
+// scaled values.
+func NewExtractor(n *netlist.Netlist, m *scoap.Measures) *Extractor {
+	raw := m.Attributes(n, core.COClamp)
+	attrs := make([][4]float64, len(raw))
+	for i, a := range raw {
+		attrs[i] = core.AttributeVector(a[0], a[1], a[2], a[3])
+	}
+	return &Extractor{n: n, attrs: attrs, ConeSize: DefaultConeSize}
+}
+
+// Feature fills dst (length Dim(ConeSize)) with the cone feature vector
+// of node id: self attributes, then fan-in cone in BFS order, then
+// fan-out cone in BFS order, zero padded.
+func (e *Extractor) Feature(id int32, dst []float64) {
+	want := Dim(e.ConeSize)
+	if len(dst) != want {
+		panic("features: destination length mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	copy(dst[0:4], e.attrs[id][:])
+	off := core.InputDim
+	for _, v := range e.n.FaninCone(id, e.ConeSize) {
+		copy(dst[off:off+4], e.attrs[v][:])
+		off += core.InputDim
+	}
+	off = (1 + e.ConeSize) * core.InputDim
+	for _, v := range e.n.FanoutCone(id, e.ConeSize) {
+		copy(dst[off:off+4], e.attrs[v][:])
+		off += core.InputDim
+	}
+}
+
+// Matrix extracts features for a list of nodes into a dense matrix, one
+// row per node.
+func (e *Extractor) Matrix(nodes []int32) *tensor.Dense {
+	d := tensor.NewDense(len(nodes), Dim(e.ConeSize))
+	for i, id := range nodes {
+		e.Feature(id, d.Row(i))
+	}
+	return d
+}

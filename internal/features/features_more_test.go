@@ -1,0 +1,76 @@
+package features
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/scoap"
+)
+
+func TestConeLargerThanDesignPadsWithZeros(t *testing.T) {
+	n := netlist.New("tiny")
+	a := n.MustAddGate(netlist.Input, "a")
+	g := n.MustAddGate(netlist.Not, "g", a)
+	n.MustAddGate(netlist.Output, "po", g)
+	m := scoap.Compute(n)
+	e := NewExtractor(n, m)
+	e.ConeSize = 100 // far larger than the design
+	dst := make([]float64, Dim(100))
+	e.Feature(g, dst)
+	// Only a handful of slots are populated; the tail must be zeros.
+	nonzero := 0
+	for _, v := range dst {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero > 3*4 {
+		t.Errorf("too many populated values (%d) for a 3-cell design", nonzero)
+	}
+}
+
+func TestFeatureReflectsObservationPoint(t *testing.T) {
+	// Inserting an OP changes the fan-out cone contents of the target.
+	n := netlist.New("op")
+	a := n.MustAddGate(netlist.Input, "a")
+	g := n.MustAddGate(netlist.Not, "g", a)
+	n.MustAddGate(netlist.Output, "po", g)
+	m := scoap.Compute(n)
+	e := NewExtractor(n, m)
+	e.ConeSize = 4
+	before := make([]float64, Dim(4))
+	e.Feature(a, before)
+
+	if _, err := n.InsertObservationPoint(a); err != nil {
+		t.Fatal(err)
+	}
+	m2 := scoap.Compute(n)
+	e2 := NewExtractor(n, m2)
+	e2.ConeSize = 4
+	after := make([]float64, Dim(4))
+	e2.Feature(a, after)
+
+	same := true
+	for i := range before {
+		if before[i] != after[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("feature vector unchanged by observation point")
+	}
+}
+
+func TestFeatureWrongLengthPanics(t *testing.T) {
+	n := netlist.New("p")
+	a := n.MustAddGate(netlist.Input, "a")
+	n.MustAddGate(netlist.Output, "po", a)
+	e := NewExtractor(n, scoap.Compute(n))
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong destination length should panic")
+		}
+	}()
+	e.Feature(a, make([]float64, 3))
+}

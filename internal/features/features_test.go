@@ -1,0 +1,91 @@
+package features
+
+import (
+	"testing"
+
+	"repro/internal/circuitgen"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/scoap"
+)
+
+func TestDim(t *testing.T) {
+	if Dim(DefaultConeSize) != 4004 {
+		t.Errorf("Dim(500) = %d, want the paper's 4004", Dim(DefaultConeSize))
+	}
+	if Dim(1) != 12 {
+		t.Errorf("Dim(1) = %d, want 12", Dim(1))
+	}
+}
+
+func TestFeatureLayout(t *testing.T) {
+	// chain: a -> NOT -> PO ; cone of the NOT gate has 1 fan-in node.
+	n := netlist.New("f")
+	a := n.MustAddGate(netlist.Input, "a")
+	g := n.MustAddGate(netlist.Not, "g", a)
+	po := n.MustAddGate(netlist.Output, "po", g)
+	_ = po
+	m := scoap.Compute(n)
+	e := NewExtractor(n, m)
+	e.ConeSize = 2
+	dst := make([]float64, Dim(2))
+	e.Feature(g, dst)
+
+	// Self attributes first.
+	attrs := m.Attributes(n, core.COClamp)
+	self := core.AttributeVector(attrs[g][0], attrs[g][1], attrs[g][2], attrs[g][3])
+	for j := 0; j < 4; j++ {
+		if dst[j] != self[j] {
+			t.Errorf("self attr %d = %v, want %v", j, dst[j], self[j])
+		}
+	}
+	// Fan-in cone: node a at offset 4.
+	ain := core.AttributeVector(attrs[a][0], attrs[a][1], attrs[a][2], attrs[a][3])
+	for j := 0; j < 4; j++ {
+		if dst[4+j] != ain[j] {
+			t.Errorf("fanin attr %d = %v, want %v", j, dst[4+j], ain[j])
+		}
+	}
+	// Second fan-in slot is zero padded.
+	for j := 8; j < 12; j++ {
+		if dst[j] != 0 {
+			t.Errorf("expected zero padding at %d, got %v", j, dst[j])
+		}
+	}
+	// Fan-out section starts at (1+2)*4 = 12: the PO sink.
+	poAttr := core.AttributeVector(attrs[po][0], attrs[po][1], attrs[po][2], attrs[po][3])
+	for j := 0; j < 4; j++ {
+		if dst[12+j] != poAttr[j] {
+			t.Errorf("fanout attr %d = %v, want %v", j, dst[12+j], poAttr[j])
+		}
+	}
+}
+
+func TestMatrixShapeAndDeterminism(t *testing.T) {
+	n := circuitgen.Generate("fm", circuitgen.Config{Seed: 8, NumGates: 600})
+	m := scoap.Compute(n)
+	e := NewExtractor(n, m)
+	e.ConeSize = 50
+	nodes := []int32{10, 20, 30}
+	a := e.Matrix(nodes)
+	b := e.Matrix(nodes)
+	if a.Rows != 3 || a.Cols != Dim(50) {
+		t.Fatalf("shape %d×%d", a.Rows, a.Cols)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("extraction not deterministic")
+		}
+	}
+}
+
+func BenchmarkFeature500(b *testing.B) {
+	n := circuitgen.Generate("fb", circuitgen.Config{Seed: 1, NumGates: 20000})
+	m := scoap.Compute(n)
+	e := NewExtractor(n, m)
+	dst := make([]float64, Dim(e.ConeSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Feature(int32(5000+(i%1000)), dst)
+	}
+}

@@ -1,0 +1,70 @@
+// Package metrics provides the classification metrics used throughout
+// the evaluation: accuracy for the balanced Table 2 comparison and
+// precision/recall/F1 for the imbalanced Figure 9 comparison, where the
+// paper notes plain accuracy would be misleading.
+package metrics
+
+// Confusion is a binary confusion matrix. Entries with label < 0 are
+// skipped by NewConfusion.
+type Confusion struct {
+	TP, TN, FP, FN int
+}
+
+// NewConfusion tallies predictions against labels; rows with label < 0
+// (unlabeled) are ignored.
+func NewConfusion(pred, labels []int) Confusion {
+	var c Confusion
+	for i, l := range labels {
+		if l < 0 {
+			continue
+		}
+		switch {
+		case l == 1 && pred[i] == 1:
+			c.TP++
+		case l == 1 && pred[i] != 1:
+			c.FN++
+		case l == 0 && pred[i] == 1:
+			c.FP++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Total returns the number of counted samples.
+func (c Confusion) Total() int { return c.TP + c.TN + c.FP + c.FN }
+
+// Accuracy returns (TP+TN)/total, or 0 on an empty matrix.
+func (c Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(t)
+}
+
+// Precision returns TP/(TP+FP), or 0 when nothing was predicted positive.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when there are no positives.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}

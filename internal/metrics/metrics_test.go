@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionCounts(t *testing.T) {
+	pred := []int{1, 0, 1, 0, 1, 0}
+	labels := []int{1, 1, 0, 0, -1, -1}
+	c := NewConfusion(pred, labels)
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Total() != 4 {
+		t.Errorf("Total = %d, want 4 (unlabeled skipped)", c.Total())
+	}
+	if c.Accuracy() != 0.5 {
+		t.Errorf("Accuracy = %v", c.Accuracy())
+	}
+	if c.Precision() != 0.5 || c.Recall() != 0.5 || c.F1() != 0.5 {
+		t.Errorf("P/R/F1 = %v/%v/%v", c.Precision(), c.Recall(), c.F1())
+	}
+}
+
+func TestPerfectAndWorst(t *testing.T) {
+	perfect := NewConfusion([]int{1, 0, 1}, []int{1, 0, 1})
+	if perfect.F1() != 1 || perfect.Accuracy() != 1 {
+		t.Errorf("perfect F1 = %v acc = %v", perfect.F1(), perfect.Accuracy())
+	}
+	worst := NewConfusion([]int{0, 1, 0}, []int{1, 0, 1})
+	if worst.F1() != 0 || worst.Accuracy() != 0 {
+		t.Errorf("worst F1 = %v acc = %v", worst.F1(), worst.Accuracy())
+	}
+}
+
+func TestDegenerateCases(t *testing.T) {
+	empty := NewConfusion(nil, nil)
+	if empty.Accuracy() != 0 || empty.F1() != 0 {
+		t.Error("empty confusion should be all zeros")
+	}
+	// No predicted positives: precision 0 without dividing by zero.
+	c := NewConfusion([]int{0, 0}, []int{1, 0})
+	if c.Precision() != 0 || !noNaN(c) {
+		t.Errorf("degenerate precision: %+v", c)
+	}
+	// No actual positives.
+	c2 := NewConfusion([]int{1, 0}, []int{0, 0})
+	if c2.Recall() != 0 || !noNaN(c2) {
+		t.Errorf("degenerate recall: %+v", c2)
+	}
+}
+
+func noNaN(c Confusion) bool {
+	for _, v := range []float64{c.Accuracy(), c.Precision(), c.Recall(), c.F1()} {
+		if math.IsNaN(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickF1BetweenPrecisionAndRecall(t *testing.T) {
+	f := func(tp, tn, fp, fn uint8) bool {
+		c := Confusion{TP: int(tp), TN: int(tn), FP: int(fp), FN: int(fn)}
+		f1 := c.F1()
+		p, r := c.Precision(), c.Recall()
+		lo, hi := math.Min(p, r), math.Max(p, r)
+		return f1 >= lo-1e-12 && f1 <= hi+1e-12 && !math.IsNaN(f1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+package netlist
+
+import "fmt"
+
+// This file implements control point (CP) insertion. The paper focuses
+// its evaluation on observation points but notes (Section 2.2) that the
+// approach "is generic and can be applied to both CPs insertion and OPs
+// insertion"; this is the netlist-level support for the CP half.
+//
+// A control point intercepts a net with a test-mode gate driven by a new
+// primary input:
+//
+//	CP1 (force-1): net' = OR(net, cp)   — cp=0 is normal operation
+//	CP0 (force-0): net' = AND(net, cp)  — cp=1 is normal operation
+//
+// Because cell IDs are topological and loads of the target precede the
+// new gate in no particular order, CP insertion cannot be expressed as an
+// append; InsertControlPoints therefore rebuilds the netlist once for a
+// whole batch, remapping IDs.
+
+// CPKind selects the forced value of a control point.
+type CPKind uint8
+
+const (
+	// CP0 forces the net to 0 when the control input is driven to 0.
+	CP0 CPKind = iota
+	// CP1 forces the net to 1 when the control input is driven to 1.
+	CP1
+)
+
+// String returns "CP0" or "CP1".
+func (k CPKind) String() string {
+	if k == CP0 {
+		return "CP0"
+	}
+	return "CP1"
+}
+
+// ControlPoint requests a control point on the output net of Target.
+type ControlPoint struct {
+	Target int32
+	Kind   CPKind
+}
+
+// CPResult reports the inserted cells of one control point, in the new
+// netlist's ID space.
+type CPResult struct {
+	// Control is the new primary input.
+	Control int32
+	// Gate is the inserted OR/AND cell that now drives the old loads.
+	Gate int32
+	// Target is the remapped ID of the original driver.
+	Target int32
+}
+
+// InsertControlPoints returns a new netlist in which every requested net
+// is intercepted by a control point, plus the inserted cell IDs and a
+// remap slice translating old IDs to new ones. Multiple control points
+// on the same target are rejected.
+func (n *Netlist) InsertControlPoints(cps []ControlPoint) (*Netlist, []CPResult, []int32, error) {
+	byTarget := make(map[int32]int, len(cps))
+	for i, cp := range cps {
+		if cp.Target < 0 || int(cp.Target) >= len(n.gates) {
+			return nil, nil, nil, fmt.Errorf("netlist: control point target %d out of range", cp.Target)
+		}
+		switch n.gates[cp.Target].Type {
+		case Output, Obs:
+			return nil, nil, nil, fmt.Errorf("netlist: cannot control sink cell %d", cp.Target)
+		}
+		if _, dup := byTarget[cp.Target]; dup {
+			return nil, nil, nil, fmt.Errorf("netlist: duplicate control point on %d", cp.Target)
+		}
+		byTarget[cp.Target] = i
+	}
+
+	out := New(n.Name)
+	remap := make([]int32, len(n.gates))
+	results := make([]CPResult, len(cps))
+	// driver[old] is the cell that loads of old should now reference:
+	// either the remapped cell itself or its control-point gate.
+	driver := make([]int32, len(n.gates))
+
+	for old := range n.gates {
+		g := &n.gates[old]
+		fanin := make([]int32, len(g.Fanin))
+		for i, f := range g.Fanin {
+			fanin[i] = driver[f]
+		}
+		id, err := out.AddGate(g.Type, g.Name, fanin...)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		remap[old] = id
+		driver[old] = id
+
+		if ci, ok := byTarget[int32(old)]; ok {
+			cp := cps[ci]
+			ctl := out.MustAddGate(Input, fmt.Sprintf("cp%d_%d", cp.Kind, old))
+			typ := And
+			if cp.Kind == CP1 {
+				typ = Or
+			}
+			gate := out.MustAddGate(typ, fmt.Sprintf("cpg_%d", old), id, ctl)
+			results[ci] = CPResult{Control: ctl, Gate: gate, Target: id}
+			driver[old] = gate
+		}
+	}
+	return out, results, remap, nil
+}

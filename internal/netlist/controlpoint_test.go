@@ -1,0 +1,95 @@
+package netlist
+
+import "testing"
+
+func TestInsertControlPointsStructure(t *testing.T) {
+	n, ids := buildC17(t)
+	gates0 := n.NumGates()
+	cps := []ControlPoint{
+		{Target: ids["11"], Kind: CP1},
+		{Target: ids["10"], Kind: CP0},
+	}
+	out, results, remap, err := n.InsertControlPoints(cps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Two new PIs and two new gates.
+	if out.NumGates() != gates0+4 {
+		t.Errorf("gates = %d, want %d", out.NumGates(), gates0+4)
+	}
+	if got := len(out.PrimaryInputs()); got != 7 {
+		t.Errorf("PIs = %d, want 7", got)
+	}
+	// CP1 on 11 inserted an OR, CP0 on 10 an AND.
+	if out.Type(results[0].Gate) != Or {
+		t.Errorf("CP1 gate type = %v", out.Type(results[0].Gate))
+	}
+	if out.Type(results[1].Gate) != And {
+		t.Errorf("CP0 gate type = %v", out.Type(results[1].Gate))
+	}
+	// The old loads of 11 (gates 16, 19) must now reference the CP gate.
+	for _, load := range []string{"16", "19"} {
+		newLoad := remap[ids[load]]
+		found := false
+		for _, f := range out.Fanin(newLoad) {
+			if f == results[0].Gate {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("load %s not redirected to control point gate", load)
+		}
+	}
+	// The CP gate's first fanin is the remapped target.
+	if out.Fanin(results[0].Gate)[0] != remap[ids["11"]] {
+		t.Error("CP gate does not consume the original net")
+	}
+	// The original netlist is untouched.
+	if n.NumGates() != gates0 {
+		t.Error("source netlist mutated")
+	}
+}
+
+func TestInsertControlPointsErrors(t *testing.T) {
+	n, ids := buildC17(t)
+	if _, _, _, err := n.InsertControlPoints([]ControlPoint{{Target: 999}}); err == nil {
+		t.Error("out-of-range target should fail")
+	}
+	po := n.PrimaryOutputs()[0]
+	if _, _, _, err := n.InsertControlPoints([]ControlPoint{{Target: po}}); err == nil {
+		t.Error("controlling a sink should fail")
+	}
+	if _, _, _, err := n.InsertControlPoints([]ControlPoint{
+		{Target: ids["11"]}, {Target: ids["11"]},
+	}); err == nil {
+		t.Error("duplicate targets should fail")
+	}
+}
+
+func TestControlPointKindString(t *testing.T) {
+	if CP0.String() != "CP0" || CP1.String() != "CP1" {
+		t.Error("CPKind strings wrong")
+	}
+}
+
+func TestControlPointPreservesLogicWhenInactive(t *testing.T) {
+	// With cp inputs at their normal-mode values the circuit computes the
+	// same function; verified structurally here (CP gates are
+	// identity-with-constant), behaviourally in the fault package tests.
+	n, ids := buildC17(t)
+	out, results, remap, err := n.InsertControlPoints([]ControlPoint{{Target: ids["11"], Kind: CP1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OR(x, 0) = x: normal-mode value of CP1 control is 0.
+	g := out.Gate(results[0].Gate)
+	if g.Type != Or || len(g.Fanin) != 2 {
+		t.Fatalf("unexpected CP gate %v", g)
+	}
+	if g.Fanin[0] != remap[ids["11"]] || g.Fanin[1] != results[0].Control {
+		t.Errorf("CP gate fanin = %v", g.Fanin)
+	}
+}

@@ -1,0 +1,31 @@
+package netlist_test
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Building a netlist programmatically: a half adder with an observation
+// point on the carry net.
+func Example() {
+	n := netlist.New("halfadder")
+	a := n.MustAddGate(netlist.Input, "a")
+	b := n.MustAddGate(netlist.Input, "b")
+	sum := n.MustAddGate(netlist.Xor, "sum", a, b)
+	carry := n.MustAddGate(netlist.And, "carry", a, b)
+	n.MustAddGate(netlist.Output, "s", sum)
+	n.MustAddGate(netlist.Output, "c", carry)
+	if _, err := n.InsertObservationPoint(carry); err != nil {
+		panic(err)
+	}
+	s := n.ComputeStats()
+	fmt.Printf("%d gates, %d edges, depth %d, %d observation point(s)\n",
+		s.Gates, s.Edges, s.Depth, s.Obs)
+	// Output: 7 gates, 7 edges, depth 2, 1 observation point(s)
+}
+
+func ExampleGateType_String() {
+	fmt.Println(netlist.Nand, netlist.Obs)
+	// Output: NAND OBS
+}

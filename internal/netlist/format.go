@@ -1,0 +1,237 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file implements a textual netlist format modeled on the ISCAS-85/89
+// ".bench" format, extended with OBS cells for inserted observation
+// points. It is line oriented:
+//
+//	# comment
+//	INPUT(a)
+//	OUTPUT(z)
+//	g1 = NAND(a, b)
+//	q  = DFF(g1)
+//	z  = BUF(g1)
+//	OBS(g1)
+//
+// OUTPUT(x) and OBS(x) declare sink cells attached to net x; all other
+// lines declare a named cell with its driver list. Declarations may appear
+// in any order; the reader performs its own topological construction.
+
+// Write serializes the netlist in .bench format.
+func Write(w io.Writer, n *Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s : %d gates, %d edges\n", n.Name, n.NumGates(), n.NumEdges())
+	name := benchNames(n)
+	// Inputs first, then logic in topological (ID) order, then sinks.
+	for i := 0; i < n.NumGates(); i++ {
+		if n.gates[i].Type == Input {
+			fmt.Fprintf(bw, "INPUT(%s)\n", name[i])
+		}
+	}
+	for i := 0; i < n.NumGates(); i++ {
+		g := &n.gates[i]
+		switch g.Type {
+		case Input:
+			// already written
+		case Output:
+			fmt.Fprintf(bw, "OUTPUT(%s)\n", name[g.Fanin[0]])
+		case Obs:
+			fmt.Fprintf(bw, "OBS(%s)\n", name[g.Fanin[0]])
+		default:
+			args := make([]string, len(g.Fanin))
+			for j, f := range g.Fanin {
+				args[j] = name[f]
+			}
+			fmt.Fprintf(bw, "%s = %s(%s)\n", name[i], g.Type, strings.Join(args, ", "))
+		}
+	}
+	return bw.Flush()
+}
+
+// benchNames assigns unique textual names to every cell, preferring the
+// cell's own name when present.
+func benchNames(n *Netlist) []string {
+	names := make([]string, n.NumGates())
+	seen := make(map[string]bool, n.NumGates())
+	for i := range names {
+		nm := n.gates[i].Name
+		if nm == "" || seen[nm] {
+			nm = fmt.Sprintf("n%d", i)
+		}
+		seen[nm] = true
+		names[i] = nm
+	}
+	return names
+}
+
+// WriteFile writes the netlist to path in .bench format.
+func WriteFile(path string, n *Netlist) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, n); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses a .bench format netlist. Cell declarations may appear in
+// any order; the reader topologically sorts them during construction and
+// reports cycles and undeclared nets as errors.
+func Read(r io.Reader) (*Netlist, error) {
+	type decl struct {
+		typ    GateType
+		fanin  []string
+		line   int
+		isSink bool
+	}
+	decls := make(map[string]decl)
+	var sinkDecls []decl
+	var order []string // declaration order of named cells, for stable output
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	name := "netlist"
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if lineNo == 1 {
+				fields := strings.Fields(strings.TrimPrefix(line, "#"))
+				if len(fields) > 0 {
+					name = fields[0]
+				}
+			}
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "INPUT(") && strings.HasSuffix(line, ")"):
+			net := strings.TrimSpace(line[len("INPUT(") : len(line)-1])
+			if _, dup := decls[net]; dup {
+				return nil, fmt.Errorf("netlist: line %d: duplicate declaration of %q", lineNo, net)
+			}
+			decls[net] = decl{typ: Input, line: lineNo}
+			order = append(order, net)
+		case strings.HasPrefix(line, "OUTPUT(") && strings.HasSuffix(line, ")"):
+			net := strings.TrimSpace(line[len("OUTPUT(") : len(line)-1])
+			sinkDecls = append(sinkDecls, decl{typ: Output, fanin: []string{net}, line: lineNo, isSink: true})
+		case strings.HasPrefix(line, "OBS(") && strings.HasSuffix(line, ")"):
+			net := strings.TrimSpace(line[len("OBS(") : len(line)-1])
+			sinkDecls = append(sinkDecls, decl{typ: Obs, fanin: []string{net}, line: lineNo, isSink: true})
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("netlist: line %d: cannot parse %q", lineNo, line)
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			if open < 0 || !strings.HasSuffix(rhs, ")") {
+				return nil, fmt.Errorf("netlist: line %d: cannot parse expression %q", lineNo, rhs)
+			}
+			t, err := ParseGateType(strings.TrimSpace(rhs[:open]))
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %v", lineNo, err)
+			}
+			var fanin []string
+			for _, a := range strings.Split(rhs[open+1:len(rhs)-1], ",") {
+				a = strings.TrimSpace(a)
+				if a != "" {
+					fanin = append(fanin, a)
+				}
+			}
+			if _, dup := decls[lhs]; dup {
+				return nil, fmt.Errorf("netlist: line %d: duplicate declaration of %q", lineNo, lhs)
+			}
+			decls[lhs] = decl{typ: t, fanin: fanin, line: lineNo}
+			order = append(order, lhs)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// Topological construction via DFS with cycle detection.
+	n := New(name)
+	ids := make(map[string]int32, len(decls))
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]uint8, len(decls))
+	var build func(net string) (int32, error)
+	build = func(net string) (int32, error) {
+		if id, ok := ids[net]; ok {
+			return id, nil
+		}
+		d, ok := decls[net]
+		if !ok {
+			return 0, fmt.Errorf("netlist: net %q used but never declared", net)
+		}
+		if color[net] == gray {
+			return 0, fmt.Errorf("netlist: combinational cycle through net %q (line %d)", net, d.line)
+		}
+		color[net] = gray
+		fanin := make([]int32, len(d.fanin))
+		for i, f := range d.fanin {
+			id, err := build(f)
+			if err != nil {
+				return 0, err
+			}
+			fanin[i] = id
+		}
+		color[net] = black
+		id, err := n.AddGate(d.typ, net, fanin...)
+		if err != nil {
+			return 0, fmt.Errorf("netlist: line %d: %v", d.line, err)
+		}
+		ids[net] = id
+		return id, nil
+	}
+	for _, net := range order {
+		if _, err := build(net); err != nil {
+			return nil, err
+		}
+	}
+	// Sinks last, in declaration order for determinism.
+	sort.SliceStable(sinkDecls, func(i, j int) bool { return sinkDecls[i].line < sinkDecls[j].line })
+	for _, d := range sinkDecls {
+		src, err := build(d.fanin[0])
+		if err != nil {
+			return nil, err
+		}
+		nm := ""
+		if d.typ == Obs {
+			nm = fmt.Sprintf("op_%d", src)
+		}
+		if _, err := n.AddGate(d.typ, nm, src); err != nil {
+			return nil, fmt.Errorf("netlist: line %d: %v", d.line, err)
+		}
+	}
+	return n, nil
+}
+
+// ReadFile parses the .bench file at path.
+func ReadFile(path string) (*Netlist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// TestQuickCrossEntropyNonNegative: loss is non-negative and finite for
+// arbitrary logits.
+func TestQuickCrossEntropyNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(8)
+		cols := 2 + rng.Intn(4)
+		logits := tensor.NewDense(rows, cols)
+		for i := range logits.Data {
+			logits.Data[i] = rng.NormFloat64() * 10
+		}
+		labels := make([]int, rows)
+		for i := range labels {
+			labels[i] = rng.Intn(cols)
+		}
+		loss, grad := WeightedCrossEntropy(logits, labels, nil)
+		if loss < 0 || math.IsNaN(loss) || math.IsInf(loss, 0) {
+			return false
+		}
+		// Gradient rows sum to zero (softmax simplex property).
+		for i := 0; i < rows; i++ {
+			var s float64
+			for _, v := range grad.Row(i) {
+				s += v
+			}
+			if math.Abs(s) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLinearIsAffine: Forward(αx) - Forward(0) = α(Forward(x) -
+// Forward(0)) for any layer — linearity up to the bias.
+func TestQuickLinearIsAffine(t *testing.T) {
+	f := func(seed int64, rawAlpha uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alpha := float64(rawAlpha%7) + 0.5
+		l := NewLinear("l", 4, 3, rng)
+		x := tensor.NewDense(2, 4)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		zero := tensor.NewDense(2, 4)
+		fx := l.Forward(x)
+		f0 := l.Forward(zero)
+		ax := x.Clone()
+		ax.Scale(alpha)
+		fax := l.Forward(ax)
+		for i := range fx.Data {
+			want := f0.Data[i] + alpha*(fx.Data[i]-f0.Data[i])
+			if math.Abs(fax.Data[i]-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSGDStepMovesAgainstGradient: after one step without momentum,
+// every parameter moves opposite to its gradient sign.
+func TestQuickSGDStepMovesAgainstGradient(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewParam("w", 6)
+		for i := range p.Data {
+			p.Data[i] = rng.NormFloat64()
+			p.Grad[i] = rng.NormFloat64()
+		}
+		before := append([]float64(nil), p.Data...)
+		(&SGD{LR: 0.01}).Step([]*Param{p})
+		for i := range p.Data {
+			delta := p.Data[i] - before[i]
+			if p.Grad[i] > 0 && delta > 0 {
+				return false
+			}
+			if p.Grad[i] < 0 && delta < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

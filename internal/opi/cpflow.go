@@ -1,0 +1,139 @@
+package opi
+
+import (
+	"sort"
+
+	"repro/internal/cop"
+	"repro/internal/netlist"
+)
+
+// This file implements control point insertion, the other half of test
+// point insertion (the paper's Section 2.2 notes its approach is generic
+// over CPs and OPs). Nets whose signal probability is extreme are nearly
+// impossible to toggle with random patterns: a net that is almost always
+// 0 receives a CP1 (an OR gate with a test-mode input that can force 1),
+// a net that is almost always 1 receives a CP0. Insertion rebuilds the
+// netlist (IDs are remapped), so the flow returns the new netlist.
+
+// CPFlowConfig controls controllability-driven control point insertion.
+type CPFlowConfig struct {
+	// Epsilon flags a net as hard to control when its signal probability
+	// is below Epsilon or above 1-Epsilon; default 0.01.
+	Epsilon float64
+	// PerRound caps insertions per rebuild round; default 32.
+	PerRound int
+	// MaxRounds bounds the loop; default 2. Each round fixes the cone
+	// roots it can see; more rounds chase residual nets deeper in cones,
+	// trading area for diminishing coverage (random-pattern-resistant
+	// faults are deterministic-ATPG work, not CP work).
+	MaxRounds int
+}
+
+func (c CPFlowConfig) withDefaults() CPFlowConfig {
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.01
+	}
+	if c.PerRound <= 0 {
+		c.PerRound = 32
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 2
+	}
+	return c
+}
+
+// CPFlowResult reports the control point flow outcome.
+type CPFlowResult struct {
+	// Netlist is the rebuilt netlist containing the control points.
+	Netlist *netlist.Netlist
+	// Inserted counts control points by kind.
+	CP0s, CP1s int
+	Rounds     int
+}
+
+// ControllabilityGreedy repeatedly measures COP signal probabilities and
+// inserts control points at the most extreme insertable nets until every
+// net clears the epsilon band or the budget runs out.
+func ControllabilityGreedy(n *netlist.Netlist, cfg CPFlowConfig) CPFlowResult {
+	cfg = cfg.withDefaults()
+	cur := n.Clone()
+	res := CPFlowResult{}
+	for round := 0; round < cfg.MaxRounds; round++ {
+		res.Rounds = round + 1
+		m := cop.Compute(cur)
+		type scored struct {
+			cp   netlist.ControlPoint
+			dist float64 // distance beyond the band; larger is worse
+		}
+		var flagged []scored
+		for v := int32(0); v < int32(cur.NumGates()); v++ {
+			switch cur.Type(v) {
+			case netlist.Output, netlist.Obs, netlist.Input, netlist.DFF:
+				continue
+			}
+			if isCPGate(cur, v) {
+				continue
+			}
+			p := m.P1[v]
+			switch {
+			case p < cfg.Epsilon:
+				flagged = append(flagged, scored{netlist.ControlPoint{Target: v, Kind: netlist.CP1}, cfg.Epsilon - p})
+			case p > 1-cfg.Epsilon:
+				flagged = append(flagged, scored{netlist.ControlPoint{Target: v, Kind: netlist.CP0}, p - (1 - cfg.Epsilon)})
+			}
+		}
+		if len(flagged) == 0 {
+			return resWith(res, cur)
+		}
+		sort.Slice(flagged, func(i, j int) bool {
+			if flagged[i].dist != flagged[j].dist {
+				return flagged[i].dist > flagged[j].dist
+			}
+			return flagged[i].cp.Target < flagged[j].cp.Target
+		})
+		// One control point fixes its whole fan-in cone's probabilities
+		// (the forced value propagates backward as don't-care), so skip
+		// candidates covered by a higher-ranked selection this round —
+		// without this, every intermediate net of a wide AND chain gets
+		// its own CP.
+		covered := make(map[int32]bool)
+		var cps []netlist.ControlPoint
+		for _, f := range flagged {
+			if len(cps) >= cfg.PerRound {
+				break
+			}
+			if covered[f.cp.Target] {
+				continue
+			}
+			cps = append(cps, f.cp)
+			for _, u := range cur.FaninCone(f.cp.Target, 0) {
+				covered[u] = true
+			}
+			if f.cp.Kind == netlist.CP0 {
+				res.CP0s++
+			} else {
+				res.CP1s++
+			}
+		}
+		next, _, _, err := cur.InsertControlPoints(cps)
+		if err != nil {
+			// Should not happen for insertable targets; stop gracefully.
+			return resWith(res, cur)
+		}
+		cur = next
+	}
+	return resWith(res, cur)
+}
+
+func resWith(res CPFlowResult, n *netlist.Netlist) CPFlowResult {
+	res.Netlist = n
+	return res
+}
+
+// isCPGate reports whether v looks like an inserted control point gate
+// (its name is assigned by InsertControlPoints); re-flagging those would
+// cascade CPs onto CPs.
+func isCPGate(n *netlist.Netlist, v int32) bool {
+	name := n.Gate(v).Name
+	return len(name) >= 4 && name[:4] == "cpg_"
+}

@@ -1,0 +1,81 @@
+package opi
+
+import (
+	"testing"
+
+	"repro/internal/cop"
+	"repro/internal/fault"
+	"repro/internal/netlist"
+)
+
+// buildControlStarved builds a design with nets that random patterns
+// almost never toggle: wide AND enables.
+func buildControlStarved(t testing.TB) *netlist.Netlist {
+	t.Helper()
+	n := netlist.New("ctl")
+	var pis []int32
+	for i := 0; i < 24; i++ {
+		pis = append(pis, n.MustAddGate(netlist.Input, ""))
+	}
+	// Three wide enables (P1 = 2^-8) gating small payloads.
+	for b := 0; b < 3; b++ {
+		en := pis[b*8]
+		for k := 1; k < 8; k++ {
+			en = n.MustAddGate(netlist.And, "", en, pis[b*8+k])
+		}
+		pay := n.MustAddGate(netlist.Xor, "", pis[(b*3)%24], pis[(b*5+1)%24])
+		g := n.MustAddGate(netlist.And, "", pay, en)
+		n.MustAddGate(netlist.Output, "", g)
+	}
+	return n
+}
+
+func TestControllabilityGreedySelectsConeRoots(t *testing.T) {
+	n := buildControlStarved(t)
+	res := ControllabilityGreedy(n, CPFlowConfig{Epsilon: 0.02, PerRound: 8, MaxRounds: 1})
+	if res.CP0s+res.CP1s == 0 {
+		t.Fatal("flow inserted nothing on a control-starved design")
+	}
+	// Cone dedup: one CP per enable funnel, not one per chain stage.
+	if got := res.CP0s + res.CP1s; got > 6 {
+		t.Errorf("flow sprayed %d CPs over 3 funnels; dedup broken", got)
+	}
+	if err := res.Netlist.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The CP gates themselves are controllable now.
+	m := cop.Compute(res.Netlist)
+	for v := int32(0); v < int32(res.Netlist.NumGates()); v++ {
+		if isCPGate(res.Netlist, v) {
+			if m.P1[v] < 0.02 || m.P1[v] > 0.98 {
+				t.Errorf("CP gate %d still extreme: P1=%v", v, m.P1[v])
+			}
+		}
+	}
+	// The original netlist is untouched.
+	if n.CountType(netlist.Input) != 24 {
+		t.Error("source netlist mutated")
+	}
+}
+
+func TestControlPointsImproveCoverage(t *testing.T) {
+	n := buildControlStarved(t)
+	tpg := fault.TPGConfig{MaxPatterns: 4096, Seed: 2, StallWords: 8}
+	before := fault.GenerateTests(n, tpg)
+	res := ControllabilityGreedy(n, CPFlowConfig{Epsilon: 0.02, PerRound: 8, MaxRounds: 1})
+	after := fault.GenerateTests(res.Netlist, tpg)
+	if after.Coverage <= before.Coverage {
+		t.Errorf("control points did not improve coverage: %.4f -> %.4f",
+			before.Coverage, after.Coverage)
+	}
+	t.Logf("coverage %.4f -> %.4f with %d CP0 + %d CP1",
+		before.Coverage, after.Coverage, res.CP0s, res.CP1s)
+}
+
+func TestCPFlowDeterministic(t *testing.T) {
+	a := ControllabilityGreedy(buildControlStarved(t), CPFlowConfig{})
+	b := ControllabilityGreedy(buildControlStarved(t), CPFlowConfig{})
+	if a.CP0s != b.CP0s || a.CP1s != b.CP1s || a.Netlist.NumGates() != b.Netlist.NumGates() {
+		t.Error("CP flow not deterministic")
+	}
+}

@@ -1,0 +1,27 @@
+package opi
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func TestEvaluateATPGBeatsRandomCoverage(t *testing.T) {
+	n, m, g := buildBench(t, 21, 1200)
+	RunFlow(n, m, g, scoapOracle{cut: oracleCut(g, 0.02)}, FlowConfig{PerIteration: 8})
+
+	random := Evaluate(n.Clone(), fault.TPGConfig{MaxPatterns: 1024, Seed: 4})
+	combined := EvaluateATPG(n.Clone(), fault.ATPGConfig{
+		Random: fault.TPGConfig{MaxPatterns: 1024, Seed: 4},
+	})
+	if combined.OPs != random.OPs {
+		t.Errorf("OP counts differ: %d vs %d", combined.OPs, random.OPs)
+	}
+	if combined.Coverage < random.Coverage {
+		t.Errorf("ATPG test coverage %.4f below random coverage %.4f",
+			combined.Coverage, random.Coverage)
+	}
+	if combined.Patterns < random.Patterns {
+		t.Errorf("combined patterns %d below random %d", combined.Patterns, random.Patterns)
+	}
+}

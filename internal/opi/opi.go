@@ -1,0 +1,428 @@
+// Package opi implements observation point insertion: the paper's
+// iterative GCN-guided flow (Section 4, Figure 7) and the industrial-tool
+// baseline it is compared against in Table 3.
+//
+// The GCN flow alternates prediction and insertion: the classifier marks
+// difficult-to-observe nodes, every positive is scored by its impact —
+// the number of positive predictions inside its fan-in cone that one
+// observation point at that node would cover (Figure 6) — the top-ranked
+// locations receive observation points, the graph and SCOAP attributes
+// are updated incrementally (COO tuple appends + fan-in-cone attribute
+// refresh), and inference repeats until no positive predictions remain.
+//
+// The baseline models a conventional testability-analysis tool:
+// SCOAP-observability-greedy insertion that repeatedly observes the
+// currently worst-observable node until every node clears a threshold —
+// the "approximate measurement" TPI school the paper cites. Both flows
+// are scored by the same fault-simulation substrate (package fault).
+package opi
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/netlist"
+	"repro/internal/scoap"
+)
+
+// Predictor produces per-node positive (difficult-to-observe)
+// probabilities for a GCN graph; *core.Model and *core.MultiStage both
+// satisfy it.
+type Predictor interface {
+	PredictProbs(g *core.Graph) []float64
+}
+
+// FlowConfig controls the iterative GCN insertion flow.
+type FlowConfig struct {
+	// Threshold is the positive-prediction cutoff; default 0.5.
+	Threshold float64
+	// PerIteration caps insertions per iteration (the paper's "top
+	// ranked locations"); default 64.
+	PerIteration int
+	// ConeLimit caps the BFS fan-in cone used for impact scoring;
+	// default 500. 0 means unbounded.
+	ConeLimit int
+	// MaxIterations bounds the outer loop; default 64.
+	MaxIterations int
+	// MaxInsertions bounds the total number of observation points;
+	// 0 means unlimited.
+	MaxInsertions int
+	// ExactImpact switches from the static cone-count ranking to the
+	// paper's hypothetical-insertion impact (Figure 6) whenever the
+	// positive set is at most ExactImpactCap nodes. Expensive: one full
+	// inference per candidate per iteration.
+	ExactImpact bool
+	// ExactImpactCap limits exact evaluation to small candidate sets;
+	// default 64.
+	ExactImpactCap int
+	// Progress, when non-nil, is invoked once per iteration.
+	Progress func(iter, positives, insertedSoFar int)
+}
+
+func (c FlowConfig) withDefaults() FlowConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	if c.PerIteration <= 0 {
+		c.PerIteration = 64
+	}
+	if c.ConeLimit < 0 {
+		c.ConeLimit = 0
+	} else if c.ConeLimit == 0 {
+		c.ConeLimit = 500
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 64
+	}
+	if c.ExactImpactCap <= 0 {
+		c.ExactImpactCap = 64
+	}
+	return c
+}
+
+// FlowResult reports the insertion flow outcome.
+type FlowResult struct {
+	// Targets lists the observed nodes in insertion order.
+	Targets []int32
+	// Iterations is the number of predict/insert rounds executed.
+	Iterations int
+	// FinalPositives is the number of positive predictions remaining at
+	// exit (0 unless a bound stopped the flow early).
+	FinalPositives int
+}
+
+// RunFlow executes the iterative insertion flow, mutating the netlist,
+// measures and graph in place.
+func RunFlow(n *netlist.Netlist, meas *scoap.Measures, g *core.Graph, pred Predictor, cfg FlowConfig) FlowResult {
+	cfg = cfg.withDefaults()
+	res := FlowResult{}
+	observed := observedSet(n)
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		probs := pred.PredictProbs(g)
+		positives := make(map[int32]bool)
+		for v := 0; v < g.N && v < n.NumGates(); v++ {
+			if probs[v] >= cfg.Threshold && insertable(n, int32(v)) && !observed[int32(v)] {
+				positives[int32(v)] = true
+			}
+		}
+		res.Iterations = iter + 1
+		res.FinalPositives = len(positives)
+		if cfg.Progress != nil {
+			cfg.Progress(iter, len(positives), len(res.Targets))
+		}
+		if len(positives) == 0 {
+			return res
+		}
+
+		var selected []int32
+		if cfg.ExactImpact && len(positives) <= cfg.ExactImpactCap {
+			selected = selectByExactImpact(n, meas, g, pred, positives, cfg)
+		} else {
+			selected = selectByImpact(n, positives, cfg)
+		}
+		if cfg.MaxInsertions > 0 && len(res.Targets)+len(selected) > cfg.MaxInsertions {
+			selected = selected[:cfg.MaxInsertions-len(res.Targets)]
+		}
+		if len(selected) == 0 {
+			return res
+		}
+		for _, v := range selected {
+			insertAndRefresh(n, meas, g, v)
+			observed[v] = true
+			res.Targets = append(res.Targets, v)
+		}
+		if cfg.MaxInsertions > 0 && len(res.Targets) >= cfg.MaxInsertions {
+			return res
+		}
+	}
+	return res
+}
+
+// selectByImpact ranks positive nodes by impact (1 + positives in the
+// fan-in cone) and returns up to PerIteration targets, skipping
+// candidates already covered by the cone of a higher-ranked selection so
+// a single funnel is not observed at every node simultaneously.
+func selectByImpact(n *netlist.Netlist, positives map[int32]bool, cfg FlowConfig) []int32 {
+	type scored struct {
+		node   int32
+		impact int
+	}
+	cones := make(map[int32][]int32, len(positives))
+	ranked := make([]scored, 0, len(positives))
+	for v := range positives {
+		cone := n.FaninCone(v, cfg.ConeLimit)
+		impact := 1
+		for _, u := range cone {
+			if positives[u] {
+				impact++
+			}
+		}
+		cones[v] = cone
+		ranked = append(ranked, scored{v, impact})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].impact != ranked[j].impact {
+			return ranked[i].impact > ranked[j].impact
+		}
+		return ranked[i].node < ranked[j].node
+	})
+	covered := make(map[int32]bool)
+	var selected []int32
+	for _, s := range ranked {
+		if len(selected) >= cfg.PerIteration {
+			break
+		}
+		if covered[s.node] {
+			continue
+		}
+		selected = append(selected, s.node)
+		for _, u := range cones[s.node] {
+			covered[u] = true
+		}
+	}
+	return selected
+}
+
+// insertAndRefresh performs one observation point insertion with all
+// incremental updates: netlist node+edge, SCOAP fan-in-cone relaxation,
+// COO adjacency tuples and attribute rows of affected nodes.
+func insertAndRefresh(n *netlist.Netlist, meas *scoap.Measures, g *core.Graph, target int32) int32 {
+	lv := n.Levels() // levels of existing nodes are unaffected by an OP
+	op, err := n.InsertObservationPoint(target)
+	if err != nil {
+		panic(err)
+	}
+	meas.UpdateAfterObservationPoint(n, op)
+	g.AddObservationPoint(target)
+	// Observability changed only inside the fan-in cone of target.
+	g.SetAttributes(target, float64(lv[target]), float64(meas.CC0[target]),
+		float64(meas.CC1[target]), clampCO(meas.CO[target]))
+	for _, u := range n.FaninCone(target, 0) {
+		g.SetAttributes(u, float64(lv[u]), float64(meas.CC0[u]),
+			float64(meas.CC1[u]), clampCO(meas.CO[u]))
+	}
+	return op
+}
+
+func clampCO(co int32) float64 {
+	if co > core.COClamp {
+		co = core.COClamp
+	}
+	return float64(co)
+}
+
+// insertable reports whether a node may receive an observation point.
+func insertable(n *netlist.Netlist, v int32) bool {
+	switch n.Type(v) {
+	case netlist.Input, netlist.Output, netlist.Obs:
+		return false
+	}
+	return true
+}
+
+// observedSet returns the nodes that already drive an observation point.
+func observedSet(n *netlist.Netlist) map[int32]bool {
+	out := make(map[int32]bool)
+	for _, op := range n.ObservationPoints() {
+		out[n.Fanin(op)[0]] = true
+	}
+	return out
+}
+
+// BaselineConfig controls the industrial-tool stand-in.
+type BaselineConfig struct {
+	// COThreshold marks a node difficult when its SCOAP observability
+	// exceeds it. Use CalibrateCOThreshold to derive it from labels.
+	COThreshold int32
+	// PerIteration caps insertions per round; default 64.
+	PerIteration int
+	// MaxIterations bounds the loop; default 256.
+	MaxIterations int
+}
+
+// IndustrialBaseline repeatedly observes the worst-observability nodes
+// (SCOAP CO above the threshold), recomputing measures incrementally,
+// until every node clears the threshold. Returns the observed targets.
+func IndustrialBaseline(n *netlist.Netlist, meas *scoap.Measures, cfg BaselineConfig) []int32 {
+	if cfg.PerIteration <= 0 {
+		cfg.PerIteration = 64
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 256
+	}
+	var targets []int32
+	observed := observedSet(n)
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		type scored struct {
+			node int32
+			co   int32
+		}
+		var difficult []scored
+		for v := int32(0); v < int32(n.NumGates()); v++ {
+			if meas.CO[v] > cfg.COThreshold && insertable(n, v) && !observed[v] {
+				difficult = append(difficult, scored{v, meas.CO[v]})
+			}
+		}
+		if len(difficult) == 0 {
+			return targets
+		}
+		sort.Slice(difficult, func(i, j int) bool {
+			if difficult[i].co != difficult[j].co {
+				return difficult[i].co > difficult[j].co
+			}
+			return difficult[i].node < difficult[j].node
+		})
+		inserted := 0
+		for _, d := range difficult {
+			if inserted >= cfg.PerIteration {
+				break
+			}
+			// The measure may have improved due to an insertion earlier in
+			// this round; re-check before spending an observation point.
+			if meas.CO[d.node] <= cfg.COThreshold {
+				continue
+			}
+			op, err := n.InsertObservationPoint(d.node)
+			if err != nil {
+				continue
+			}
+			meas.UpdateAfterObservationPoint(n, op)
+			observed[d.node] = true
+			targets = append(targets, d.node)
+			inserted++
+		}
+		if inserted == 0 {
+			return targets
+		}
+	}
+	return targets
+}
+
+// SimGreedyConfig controls the exact-simulation baseline.
+type SimGreedyConfig struct {
+	// Patterns is the per-round observability simulation budget; use the
+	// same budget as labeling for a tool whose difficulty criterion
+	// matches the ground truth.
+	Patterns int
+	// Threshold is the difficulty cutoff (fraction of patterns).
+	Threshold float64
+	// PerIteration caps insertions per round; default 64.
+	PerIteration int
+	// MaxIterations bounds the loop; default 256.
+	MaxIterations int
+	// Seed drives the random patterns.
+	Seed int64
+}
+
+// SimulationGreedy is the stronger industrial-tool model: exact
+// fault-simulation-based TPI (the other school of TPI methods the paper
+// cites). Each round it measures true random-pattern observability,
+// inserts observation points at the worst still-difficult nodes, and
+// re-simulates, so insertions that transitively fixed upstream logic are
+// never duplicated. Because its difficulty criterion is the labeling
+// criterion itself, it is an oracle-quality baseline; the GCN flow can
+// only win on the *placement* of points, not on knowing which nodes are
+// difficult.
+func SimulationGreedy(n *netlist.Netlist, cfg SimGreedyConfig) []int32 {
+	if cfg.PerIteration <= 0 {
+		cfg.PerIteration = 64
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 256
+	}
+	if cfg.Patterns <= 0 {
+		cfg.Patterns = 2048
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 0.005
+	}
+	cut := cfg.Threshold * float64(cfg.Patterns)
+	var targets []int32
+	observed := observedSet(n)
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		counts := fault.ObservabilityCounts(n, cfg.Patterns, cfg.Seed+int64(iter))
+		type scored struct {
+			node  int32
+			count int
+		}
+		var difficult []scored
+		for v := int32(0); v < int32(n.NumGates()); v++ {
+			if float64(counts[v]) < cut && insertable(n, v) && !observed[v] {
+				difficult = append(difficult, scored{v, counts[v]})
+			}
+		}
+		if len(difficult) == 0 {
+			return targets
+		}
+		sort.Slice(difficult, func(i, j int) bool {
+			if difficult[i].count != difficult[j].count {
+				return difficult[i].count < difficult[j].count
+			}
+			return difficult[i].node < difficult[j].node
+		})
+		k := cfg.PerIteration
+		if k > len(difficult) {
+			k = len(difficult)
+		}
+		for _, d := range difficult[:k] {
+			if _, err := n.InsertObservationPoint(d.node); err != nil {
+				continue
+			}
+			observed[d.node] = true
+			targets = append(targets, d.node)
+		}
+	}
+	return targets
+}
+
+// CalibrateCOThreshold picks the baseline tool's difficulty threshold
+// from labeled data: the q-quantile (e.g. 0.1) of SCOAP observability
+// over the positive nodes, so that the tool would flag (1-q) of the truly
+// difficult nodes as difficult.
+func CalibrateCOThreshold(meas *scoap.Measures, labels []int, q float64) int32 {
+	var cos []int32
+	for v, l := range labels {
+		if l == 1 {
+			cos = append(cos, meas.CO[v])
+		}
+	}
+	if len(cos) == 0 {
+		return 1 << 20
+	}
+	sort.Slice(cos, func(i, j int) bool { return cos[i] < cos[j] })
+	idx := int(q * float64(len(cos)-1))
+	return cos[idx]
+}
+
+// Evaluation bundles the Table 3 metrics for one flow on one design.
+type Evaluation struct {
+	OPs      int
+	Patterns int
+	Coverage float64
+}
+
+// Evaluate runs the shared fault-simulation scoring on a netlist after
+// insertion: number of observation points present, test patterns used
+// and stuck-at fault coverage.
+func Evaluate(n *netlist.Netlist, tpg fault.TPGConfig) Evaluation {
+	res := fault.GenerateTests(n, tpg)
+	return Evaluation{
+		OPs:      n.CountType(netlist.Obs),
+		Patterns: res.PatternsUsed,
+		Coverage: res.Coverage,
+	}
+}
+
+// EvaluateATPG scores a netlist with the full commercial-style flow:
+// random patterns plus PODEM deterministic top-up. Coverage is the
+// test coverage over provably testable faults, the number a commercial
+// tool reports.
+func EvaluateATPG(n *netlist.Netlist, cfg fault.ATPGConfig) Evaluation {
+	res := fault.GenerateTestsWithATPG(n, cfg)
+	return Evaluation{
+		OPs:      n.CountType(netlist.Obs),
+		Patterns: res.PatternsUsed,
+		Coverage: res.TestCoverage,
+	}
+}

@@ -1,0 +1,123 @@
+// Package scan models the scan infrastructure that turns the paper's
+// abstract metrics into costs: every flip-flop and inserted observation
+// point becomes a scan cell stitched into scan chains, test application
+// time scales with patterns × chain length, and test points carry an
+// area price. This is why Table 3's "#OPs" and "#PAs" columns matter —
+// each observation point lengthens the chains (silicon + shift cycles)
+// and each pattern costs a full shift-in/shift-out.
+package scan
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Chain is one stitched scan chain: an ordered list of scan cells
+// (flip-flops and observation points).
+type Chain struct {
+	Cells []int32
+}
+
+// Stitch partitions all scan cells of the netlist into numChains chains
+// balanced by length, in cell-ID order (a proxy for physical order;
+// real tools stitch by placement).
+func Stitch(n *netlist.Netlist, numChains int) ([]Chain, error) {
+	if numChains <= 0 {
+		return nil, fmt.Errorf("scan: need at least one chain")
+	}
+	var cells []int32
+	for id := int32(0); id < int32(n.NumGates()); id++ {
+		switch n.Type(id) {
+		case netlist.DFF, netlist.Obs:
+			cells = append(cells, id)
+		}
+	}
+	chains := make([]Chain, numChains)
+	for i, c := range cells {
+		chains[i%numChains].Cells = append(chains[i%numChains].Cells, c)
+	}
+	return chains, nil
+}
+
+// MaxLength returns the longest chain length, which bounds the shift
+// cycle count per pattern.
+func MaxLength(chains []Chain) int {
+	max := 0
+	for _, c := range chains {
+		if len(c.Cells) > max {
+			max = len(c.Cells)
+		}
+	}
+	return max
+}
+
+// CostModel prices the DFT infrastructure.
+type CostModel struct {
+	// GateArea is the unit area of a combinational gate; default 1.
+	GateArea float64
+	// ScanCellArea is the area of one scan cell (flop + mux); default 6.
+	ScanCellArea float64
+	// ShiftPeriodNS is the scan clock period in nanoseconds; default 10.
+	ShiftPeriodNS float64
+}
+
+func (c CostModel) withDefaults() CostModel {
+	if c.GateArea <= 0 {
+		c.GateArea = 1
+	}
+	if c.ScanCellArea <= 0 {
+		c.ScanCellArea = 6
+	}
+	if c.ShiftPeriodNS <= 0 {
+		c.ShiftPeriodNS = 10
+	}
+	return c
+}
+
+// Report summarizes the DFT cost of a netlist under a test set.
+type Report struct {
+	ScanCells     int
+	ObsPoints     int
+	Chains        int
+	MaxChainLen   int
+	AreaTotal     float64
+	AreaOverhead  float64 // fraction of area spent on scan cells
+	TestCycles    int64   // (patterns+1) × maxChainLen + patterns capture cycles
+	TestTimeMicro float64 // TestCycles × shift period
+}
+
+// Evaluate computes the report for a netlist tested with the given
+// pattern count over numChains chains.
+func Evaluate(n *netlist.Netlist, patterns, numChains int, model CostModel) (Report, error) {
+	model = model.withDefaults()
+	chains, err := Stitch(n, numChains)
+	if err != nil {
+		return Report{}, err
+	}
+	r := Report{Chains: numChains, MaxChainLen: MaxLength(chains)}
+	for _, ch := range chains {
+		r.ScanCells += len(ch.Cells)
+	}
+	r.ObsPoints = n.CountType(netlist.Obs)
+
+	combGates := 0
+	for id := int32(0); id < int32(n.NumGates()); id++ {
+		switch n.Type(id) {
+		case netlist.Input, netlist.Output, netlist.DFF, netlist.Obs:
+		default:
+			combGates++
+		}
+	}
+	scanArea := float64(r.ScanCells) * model.ScanCellArea
+	r.AreaTotal = float64(combGates)*model.GateArea + scanArea
+	if r.AreaTotal > 0 {
+		r.AreaOverhead = scanArea / r.AreaTotal
+	}
+
+	// Shift in pattern i while shifting out response i-1; one capture
+	// cycle per pattern; one final shift-out.
+	r.TestCycles = int64(patterns+1)*int64(r.MaxChainLen) + int64(patterns)
+	r.TestTimeMicro = float64(r.TestCycles) * model.ShiftPeriodNS / 1000
+	return r, nil
+}

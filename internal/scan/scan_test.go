@@ -1,0 +1,105 @@
+package scan
+
+import (
+	"testing"
+
+	"repro/internal/circuitgen"
+	"repro/internal/netlist"
+)
+
+func TestStitchBalancesChains(t *testing.T) {
+	n := circuitgen.Generate("s", circuitgen.Config{Seed: 1, NumGates: 1500})
+	chains, err := Stitch(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != 4 {
+		t.Fatalf("chains = %d", len(chains))
+	}
+	total := 0
+	min, max := 1<<30, 0
+	for _, c := range chains {
+		total += len(c.Cells)
+		if len(c.Cells) < min {
+			min = len(c.Cells)
+		}
+		if len(c.Cells) > max {
+			max = len(c.Cells)
+		}
+	}
+	if total != n.CountType(netlist.DFF)+n.CountType(netlist.Obs) {
+		t.Errorf("stitched %d cells, want all scan cells", total)
+	}
+	if max-min > 1 {
+		t.Errorf("unbalanced chains: min %d max %d", min, max)
+	}
+}
+
+func TestStitchRejectsZeroChains(t *testing.T) {
+	n := circuitgen.Generate("s", circuitgen.Config{Seed: 2, NumGates: 200})
+	if _, err := Stitch(n, 0); err == nil {
+		t.Error("zero chains should fail")
+	}
+}
+
+func TestEvaluateCostGrowsWithOPs(t *testing.T) {
+	n := circuitgen.Generate("s", circuitgen.Config{Seed: 3, NumGates: 1500})
+	before, err := Evaluate(n, 200, 4, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(100); i < 200; i += 10 {
+		if _, err := n.InsertObservationPoint(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := Evaluate(n, 200, 4, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.ObsPoints != 10 {
+		t.Errorf("ObsPoints = %d", after.ObsPoints)
+	}
+	if after.AreaTotal <= before.AreaTotal {
+		t.Error("observation points must cost area")
+	}
+	if after.TestCycles <= before.TestCycles {
+		t.Error("longer chains must cost test cycles")
+	}
+	if after.AreaOverhead <= before.AreaOverhead {
+		t.Error("scan overhead fraction must grow")
+	}
+}
+
+func TestEvaluateFewerPatternsSaveTime(t *testing.T) {
+	n := circuitgen.Generate("s", circuitgen.Config{Seed: 4, NumGates: 1000})
+	many, _ := Evaluate(n, 400, 2, CostModel{})
+	few, _ := Evaluate(n, 300, 2, CostModel{})
+	if few.TestTimeMicro >= many.TestTimeMicro {
+		t.Errorf("fewer patterns should be faster: %v vs %v", few.TestTimeMicro, many.TestTimeMicro)
+	}
+}
+
+func TestTestCyclesFormula(t *testing.T) {
+	// Hand-checkable: 1 chain with 3 cells, 2 patterns.
+	n := netlist.New("tiny")
+	a := n.MustAddGate(netlist.Input, "a")
+	q1 := n.MustAddGate(netlist.DFF, "q1", a)
+	q2 := n.MustAddGate(netlist.DFF, "q2", q1)
+	q3 := n.MustAddGate(netlist.DFF, "q3", q2)
+	n.MustAddGate(netlist.Output, "po", q3)
+	r, err := Evaluate(n, 2, 1, CostModel{ShiftPeriodNS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (2+1)*3 + 2 = 11 cycles, 110 ns = 0.11 µs.
+	if r.TestCycles != 11 {
+		t.Errorf("TestCycles = %d, want 11", r.TestCycles)
+	}
+	if r.TestTimeMicro != 0.11 {
+		t.Errorf("TestTimeMicro = %v, want 0.11", r.TestTimeMicro)
+	}
+	if r.MaxChainLen != 3 || r.ScanCells != 3 {
+		t.Errorf("chain stats: %+v", r)
+	}
+}

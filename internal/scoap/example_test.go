@@ -1,0 +1,31 @@
+package scoap_test
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/scoap"
+)
+
+// SCOAP measures for a two-gate circuit, before and after inserting an
+// observation point (the incremental update relaxes only the fan-in
+// cone).
+func Example() {
+	n := netlist.New("demo")
+	a := n.MustAddGate(netlist.Input, "a")
+	b := n.MustAddGate(netlist.Input, "b")
+	c := n.MustAddGate(netlist.Input, "c")
+	g1 := n.MustAddGate(netlist.And, "g1", a, b)
+	g2 := n.MustAddGate(netlist.Or, "g2", g1, c)
+	n.MustAddGate(netlist.Output, "po", g2)
+
+	m := scoap.Compute(n)
+	fmt.Printf("g1: CC0=%d CC1=%d CO=%d\n", m.CC0[g1], m.CC1[g1], m.CO[g1])
+
+	op, _ := n.InsertObservationPoint(g1)
+	m.UpdateAfterObservationPoint(n, op)
+	fmt.Printf("g1 after OP: CO=%d\n", m.CO[g1])
+	// Output:
+	// g1: CC0=2 CC1=3 CO=2
+	// g1 after OP: CO=0
+}

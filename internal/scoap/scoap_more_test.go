@@ -1,0 +1,124 @@
+package scoap
+
+import (
+	"testing"
+
+	"repro/internal/circuitgen"
+	"repro/internal/netlist"
+)
+
+func TestThreeInputXorControllability(t *testing.T) {
+	// XOR3 of PIs: parity folding. CC1(xor of two PIs) = 3, then folding
+	// with the third PI: CC1 = min(3+1, 3+1)+1 = 5 (using intermediate
+	// pair costs without the +1 until the end: the fold keeps running
+	// costs, so expect CC = min-combination + 1 at the gate).
+	n := netlist.New("x3")
+	a := n.MustAddGate(netlist.Input, "a")
+	b := n.MustAddGate(netlist.Input, "b")
+	c := n.MustAddGate(netlist.Input, "c")
+	x := n.MustAddGate(netlist.Xor, "x", a, b, c)
+	n.MustAddGate(netlist.Output, "po", x)
+	m := Compute(n)
+	// Fold: (a,b) → c0=min(1+1,1+1)=2, c1=2; with c → c0=min(2+1,2+1)=3,
+	// c1=3; +1 → 4.
+	if m.CC0[x] != 4 || m.CC1[x] != 4 {
+		t.Errorf("XOR3 CC = (%d,%d), want (4,4)", m.CC0[x], m.CC1[x])
+	}
+}
+
+func TestObsCellConvention(t *testing.T) {
+	n := netlist.New("obs")
+	a := n.MustAddGate(netlist.Input, "a")
+	g := n.MustAddGate(netlist.Not, "g", a)
+	n.MustAddGate(netlist.Output, "po", g)
+	op, err := n.InsertObservationPoint(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Compute(n)
+	// The paper's [0,1,1,0] convention: CC0=CC1=1, CO=0 for the new node.
+	if m.CC0[op] != 1 || m.CC1[op] != 1 || m.CO[op] != 0 {
+		t.Errorf("Obs cell measures = (%d,%d,%d), want (1,1,0)", m.CC0[op], m.CC1[op], m.CO[op])
+	}
+}
+
+func TestMultipleFanoutTakesMinObservability(t *testing.T) {
+	// g fans out to a cheap path (direct PO) and an expensive one; CO(g)
+	// must be the cheap branch.
+	n := netlist.New("fo")
+	a := n.MustAddGate(netlist.Input, "a")
+	b := n.MustAddGate(netlist.Input, "b")
+	g := n.MustAddGate(netlist.Buf, "g", a)
+	exp := n.MustAddGate(netlist.And, "exp", g, b)
+	n.MustAddGate(netlist.Output, "po1", exp)
+	n.MustAddGate(netlist.Output, "po2", g)
+	m := Compute(n)
+	if m.CO[g] != 0 {
+		t.Errorf("CO(g) = %d, want 0 via the direct PO", m.CO[g])
+	}
+}
+
+func TestIncrementalMultipleInsertions(t *testing.T) {
+	n := circuitgen.Generate("multi", circuitgen.Config{Seed: 31, NumGates: 800})
+	m := Compute(n)
+	for i := 0; i < 5; i++ {
+		target := int32(100 + i*123)
+		if n.Type(target) == netlist.Output || n.Type(target) == netlist.Obs {
+			continue
+		}
+		op, err := n.InsertObservationPoint(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.UpdateAfterObservationPoint(n, op)
+	}
+	full := Compute(n)
+	for id := int32(0); id < int32(n.NumGates()); id++ {
+		if m.CO[id] != full.CO[id] || m.CC0[id] != full.CC0[id] || m.CC1[id] != full.CC1[id] {
+			t.Fatalf("node %d diverged after repeated incremental updates", id)
+		}
+	}
+}
+
+func TestCloneMeasures(t *testing.T) {
+	n := circuitgen.Generate("cl", circuitgen.Config{Seed: 32, NumGates: 200})
+	m := Compute(n)
+	c := m.Clone()
+	c.CO[0] = 12345
+	if m.CO[0] == 12345 {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestSaturationArithmetic(t *testing.T) {
+	if satAdd(Unobservable, 5) != Unobservable {
+		t.Error("satAdd must saturate")
+	}
+	if satAdd(Unobservable-1, 10) != Unobservable {
+		t.Error("satAdd overflow must clamp")
+	}
+	if satSub(Unobservable, 5) != Unobservable {
+		t.Error("satSub of saturated total stays saturated")
+	}
+	if satSub(10, 4) != 6 {
+		t.Error("satSub basic arithmetic")
+	}
+}
+
+func TestAttributesClampControllability(t *testing.T) {
+	// Build a chain long enough that CC explodes past the clamp.
+	n := netlist.New("deep")
+	cur := n.MustAddGate(netlist.Input, "a")
+	b := n.MustAddGate(netlist.Input, "b")
+	for i := 0; i < 40; i++ {
+		cur = n.MustAddGate(netlist.And, "", cur, b)
+	}
+	n.MustAddGate(netlist.Output, "po", cur)
+	m := Compute(n)
+	attrs := m.Attributes(n, 10)
+	for id := range attrs {
+		if attrs[id][1] > 10 || attrs[id][2] > 10 || attrs[id][3] > 10 {
+			t.Fatalf("node %d attributes not clamped: %v", id, attrs[id])
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMatMulOverwritesDirtyDst pins the first-touch semantics: MatMul
+// must fully overwrite a reused destination, including rows whose
+// left-operand row is entirely zero.
+func TestMatMulOverwritesDirtyDst(t *testing.T) {
+	a := FromRows([][]float64{{0, 0}, {1, 2}})
+	b := FromRows([][]float64{{3, 4}, {5, 6}})
+	dst := FromRows([][]float64{{99, 99}, {99, 99}})
+	MatMul(dst, a, b)
+	want := FromRows([][]float64{{0, 0}, {13, 16}})
+	if MaxAbsDiff(dst, want) != 0 {
+		t.Errorf("dst = %v, want %v", dst.Data, want.Data)
+	}
+}
+
+func TestMatMulZeroDimensions(t *testing.T) {
+	// 0×k · k×n and m×0 · 0×n must not panic.
+	dst := NewDense(0, 3)
+	MatMul(dst, NewDense(0, 2), NewDense(2, 3))
+	dst2 := NewDense(2, 3)
+	MatMul(dst2, NewDense(2, 0), NewDense(0, 3))
+	for _, v := range dst2.Data {
+		if v != 0 {
+			t.Fatal("empty inner dimension must produce zeros")
+		}
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged FromRows should panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestCopyFromShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CopyFrom with mismatched shapes should panic")
+		}
+	}()
+	NewDense(2, 2).CopyFrom(NewDense(2, 3))
+}
+
+func TestNegativeShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative shape should panic")
+		}
+	}()
+	NewDense(-1, 2)
+}
+
+func TestRowIsMutableView(t *testing.T) {
+	d := NewDense(3, 2)
+	d.Row(1)[1] = 7
+	if d.At(1, 1) != 7 {
+		t.Error("Row must alias the underlying storage")
+	}
+}
+
+func TestSoftmaxSingleColumn(t *testing.T) {
+	d := FromRows([][]float64{{42}, {-42}})
+	d.SoftmaxRowsInPlace()
+	if d.At(0, 0) != 1 || d.At(1, 0) != 1 {
+		t.Errorf("single-class softmax must be 1: %v", d.Data)
+	}
+}
+
+func TestArgmaxTieBreaksLow(t *testing.T) {
+	d := FromRows([][]float64{{5, 5, 5}})
+	if got := d.ArgmaxRows()[0]; got != 0 {
+		t.Errorf("tie should resolve to the first index, got %d", got)
+	}
+}
+
+func TestDotAgainstManual(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, b := randDense(rng, 4, 5), randDense(rng, 4, 5)
+	var want float64
+	for i := range a.Data {
+		want += a.Data[i] * b.Data[i]
+	}
+	if got := a.Dot(b); got != want {
+		t.Errorf("Dot = %v, want %v", got, want)
+	}
+}
+
+func TestMaxAbsDiffZeroForClones(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randDense(rng, 6, 6)
+	if MaxAbsDiff(a, a.Clone()) != 0 {
+		t.Error("clone differs from source")
+	}
+}
