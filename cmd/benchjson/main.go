@@ -1,0 +1,278 @@
+// Command benchjson runs the repository's tier-1 benchmarks in-process
+// (via testing.Benchmark) and writes the results as a BENCH_NNNN.json
+// artifact — the machine-readable performance trajectory this repository
+// tracks PR over PR. Committing one file per recorded run lets any
+// future change tell a measured before/after story; see
+// docs/OBSERVABILITY.md for the schema and workflow.
+//
+// Usage:
+//
+//	benchjson [-out FILE] [-dir DIR] [-bench REGEXP] [-counters]
+//
+// With no -out, the next free BENCH_NNNN.json number in -dir (default
+// ".") is chosen. -bench filters benchmarks by name. -counters enables
+// the internal/obs instrumentation during the run and embeds the
+// counter snapshot (e.g. spmm.rows, faultsim.batches) in the artifact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/circuitgen"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/scoap"
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+// BenchResult is one benchmark's measurement in the artifact.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Seconds     float64 `json:"seconds_total"`
+}
+
+// BenchFile is the serialized artifact: environment identification plus
+// one entry per benchmark, and optionally the obs counter snapshot.
+type BenchFile struct {
+	SchemaVersion int              `json:"schema_version"`
+	Name          string           `json:"name"`
+	CreatedAt     string           `json:"created_at"`
+	GoVersion     string           `json:"go_version"`
+	GOOS          string           `json:"goos"`
+	GOARCH        string           `json:"goarch"`
+	NumCPU        int              `json:"num_cpu"`
+	GOMAXPROCS    int              `json:"gomaxprocs"`
+	GitDescribe   string           `json:"git_describe,omitempty"`
+	Benchmarks    []BenchResult    `json:"benchmarks"`
+	Counters      map[string]int64 `json:"counters,omitempty"`
+}
+
+// tier1 lists the benchmark bodies mirroring the repository-level
+// bench_test.go tier-1 targets, at the same quick scales. Training-heavy
+// table/figure regenerations (fig8, table2, table3) are deliberately
+// excluded from the default artifact: their runtime is dominated by the
+// same SpMM/fault-sim kernels measured here and would make each recorded
+// run minutes long.
+var tier1 = []struct {
+	name string
+	fn   func(b *testing.B)
+}{
+	{"Table1DatasetGeneration", benchTable1},
+	{"Fig10MatrixInference", benchMatrixInference},
+	{"Fig10RecursiveInference", benchRecursiveInference},
+	{"AblationCSRMul", benchCSRMul},
+	{"AblationSpMMParallel", benchSpMMParallel},
+	{"AblationIncrementalSCOAP", benchIncrementalSCOAP},
+	{"AblationFaultSimulation", benchFaultSimulation},
+}
+
+func main() {
+	out := flag.String("out", "", "output path (default: next free BENCH_NNNN.json in -dir)")
+	dir := flag.String("dir", ".", "directory scanned for existing BENCH_NNNN.json files")
+	pattern := flag.String("bench", "", "regexp filtering benchmark names (default: all)")
+	counters := flag.Bool("counters", true, "enable internal/obs and embed the counter snapshot")
+	flag.Parse()
+
+	var filter *regexp.Regexp
+	if *pattern != "" {
+		var err error
+		if filter, err = regexp.Compile(*pattern); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad -bench regexp:", err)
+			os.Exit(2)
+		}
+	}
+
+	if *counters {
+		obs.Reset()
+		obs.Enable()
+		// Spans would add ReadMemStats pauses inside timed regions; the
+		// artifact wants counters only.
+		obs.SetAllocSampling(false)
+	}
+
+	file := &BenchFile{
+		SchemaVersion: 1,
+		Name:          "tier1-bench",
+		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		GitDescribe:   obs.GitDescribe(),
+	}
+
+	for _, bm := range tier1 {
+		if filter != nil && !filter.MatchString(bm.name) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %-28s ", bm.name)
+		r := testing.Benchmark(bm.fn)
+		res := BenchResult{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Seconds:     r.T.Seconds(),
+		}
+		fmt.Fprintf(os.Stderr, "%12.0f ns/op  %d iters\n", res.NsPerOp, res.Iterations)
+		file.Benchmarks = append(file.Benchmarks, res)
+	}
+	if len(file.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmarks matched")
+		os.Exit(1)
+	}
+
+	if *counters {
+		file.Counters = obs.TakeSnapshot().Counters
+	}
+
+	path := *out
+	if path == "" {
+		var err error
+		if path, err = nextBenchPath(*dir); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	b, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(file.Benchmarks))
+}
+
+// nextBenchPath returns dir/BENCH_NNNN.json for the smallest NNNN not
+// yet taken (starting at 0001).
+func nextBenchPath(dir string) (string, error) {
+	existing, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	max := 0
+	for _, p := range existing {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(p), "BENCH_%d.json", &n); err == nil && n > max {
+			max = n
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%04d.json", max+1)), nil
+}
+
+// --- benchmark bodies (quick scales matching bench_test.go) -----------
+
+func benchTable1(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.Table1(experiments.Config{Quick: true, Seed: int64(100 + i)})
+	}
+}
+
+// fig10Setup builds the Figure 10 mid-size point shared by the two
+// inference benchmarks.
+func fig10Setup(seed int64) (*core.Graph, *core.Model) {
+	n := circuitgen.Generate("f10", circuitgen.Config{Seed: seed, NumGates: 20000})
+	g := core.FromNetlist(n, scoap.Compute(n))
+	m := core.MustNewModel(core.DefaultConfig())
+	return g, m
+}
+
+func benchMatrixInference(b *testing.B) {
+	g, m := fig10Setup(1)
+	m.Forward(g) // build CSR once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(g)
+	}
+}
+
+func benchRecursiveInference(b *testing.B) {
+	g, m := fig10Setup(1)
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.InferNodeRecursive(g, int32(rng.Intn(g.N)))
+	}
+}
+
+func benchCSRMul(b *testing.B) {
+	n := circuitgen.Generate("ab1", circuitgen.Config{Seed: 3, NumGates: 20000})
+	g := core.FromNetlist(n, scoap.Compute(n))
+	x := tensor.NewDense(g.N, 32)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	dst := tensor.NewDense(g.N, 32)
+	csr := g.Pred()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		csr.MulDense(dst, x)
+	}
+}
+
+func benchSpMMParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	coo := sparse.NewCOO(100000, 100000)
+	for i := 0; i < 300000; i++ {
+		coo.Append(int32(rng.Intn(100000)), int32(rng.Intn(100000)), 1)
+	}
+	csr := coo.ToCSR()
+	x := tensor.NewDense(100000, 16)
+	dst := tensor.NewDense(100000, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		csr.MulDenseParallel(dst, x, 0)
+	}
+}
+
+func benchIncrementalSCOAP(b *testing.B) {
+	n := circuitgen.Generate("ab2", circuitgen.Config{Seed: 4, NumGates: 20000})
+	m := scoap.Compute(n)
+	op, err := n.InsertObservationPoint(int32(n.NumGates() / 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.UpdateAfterObservationPoint(n, op)
+	}
+}
+
+func benchFaultSimulation(b *testing.B) {
+	n := circuitgen.Generate("ab3", circuitgen.Config{Seed: 5, NumGates: 50000})
+	sim := fault.NewSimulator(n)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Batch(rng)
+	}
+}

@@ -3,42 +3,79 @@
 //
 // Usage:
 //
-//	experiments [-size N] [-patterns N] [-epochs N] [-seed N] [-quick] [-run LIST]
+//	experiments [-size N] [-patterns N] [-epochs N] [-seed N] [-quick]
+//	            [-run LIST] [-manifest out.json] [-pprof addr]
 //
 // -run selects a comma-separated subset of
 // table1,fig8,table2,fig9,fig10,table3 (default: all).
+//
+// -manifest enables the observability layer (internal/obs) and writes a
+// run manifest — span tree, counters, environment — to the given path
+// when all selected experiments finish; see docs/OBSERVABILITY.md.
+//
+// -pprof serves net/http/pprof on the given address (e.g.
+// "localhost:6060") for live CPU/heap profiling of long runs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
-	size := flag.Int("size", 0, "approximate gates per benchmark design (0 = default)")
-	patterns := flag.Int("patterns", 0, "labeling pattern budget (0 = default)")
-	epochs := flag.Int("epochs", 0, "GCN training epochs (0 = default)")
-	seed := flag.Int64("seed", 42, "global seed")
-	quick := flag.Bool("quick", false, "shrink everything for a fast smoke run")
-	run := flag.String("run", "all", "comma-separated experiments: table1,fig8,table2,fig9,fig10,table3,ablation (ablation is opt-in, not part of all)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the experiment driver; split from main so the manifest
+// smoke test can exercise the full flag-to-file path in-process.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	size := fs.Int("size", 0, "approximate gates per benchmark design (0 = default)")
+	patterns := fs.Int("patterns", 0, "labeling pattern budget (0 = default)")
+	epochs := fs.Int("epochs", 0, "GCN training epochs (0 = default)")
+	seed := fs.Int64("seed", 42, "global seed")
+	quick := fs.Bool("quick", false, "shrink everything for a fast smoke run")
+	runSel := fs.String("run", "all", "comma-separated experiments: table1,fig8,table2,fig9,fig10,table3,ablation (ablation is opt-in, not part of all)")
+	manifest := fs.String("manifest", "", "enable instrumentation and write a run manifest JSON to this path")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: pprof server:", err)
+			}
+		}()
+	}
+	if *manifest != "" {
+		obs.Enable()
+	}
 
 	cfg := experiments.Config{
 		Size: *size, Patterns: *patterns, Epochs: *epochs, Seed: *seed, Quick: *quick,
 	}
 
 	want := map[string]bool{}
-	if *run == "all" {
+	if *runSel == "all" {
 		for _, k := range []string{"table1", "fig8", "table2", "fig9", "fig10", "table3"} {
 			want[k] = true
 		}
 	} else {
-		for _, k := range strings.Split(*run, ",") {
+		for _, k := range strings.Split(*runSel, ",") {
 			want[strings.TrimSpace(strings.ToLower(k))] = true
 		}
 	}
@@ -48,16 +85,27 @@ func main() {
 			return
 		}
 		start := time.Now()
-		fmt.Printf("=== %s ===\n", name)
+		fmt.Fprintf(stdout, "=== %s ===\n", name)
 		f()
-		fmt.Printf("(%s took %.1fs)\n\n", name, time.Since(start).Seconds())
+		fmt.Fprintf(stdout, "(%s took %.1fs)\n\n", name, time.Since(start).Seconds())
 	}
 
-	step("table1", func() { r := experiments.Table1(cfg); r.Fprint(os.Stdout) })
-	step("fig8", func() { r := experiments.Fig8(cfg); r.Fprint(os.Stdout) })
-	step("table2", func() { r := experiments.Table2(cfg); r.Fprint(os.Stdout) })
-	step("fig9", func() { r := experiments.Fig9(cfg); r.Fprint(os.Stdout) })
-	step("fig10", func() { r := experiments.Fig10(cfg); r.Fprint(os.Stdout) })
-	step("table3", func() { r := experiments.Table3(cfg); r.Fprint(os.Stdout) })
-	step("ablation", func() { r := experiments.StageAblation(cfg, 4); r.Fprint(os.Stdout) })
+	step("table1", func() { r := experiments.Table1(cfg); r.Fprint(stdout) })
+	step("fig8", func() { r := experiments.Fig8(cfg); r.Fprint(stdout) })
+	step("table2", func() { r := experiments.Table2(cfg); r.Fprint(stdout) })
+	step("fig9", func() { r := experiments.Fig9(cfg); r.Fprint(stdout) })
+	step("fig10", func() { r := experiments.Fig10(cfg); r.Fprint(stdout) })
+	step("table3", func() { r := experiments.Table3(cfg); r.Fprint(stdout) })
+	step("ablation", func() { r := experiments.StageAblation(cfg, 4); r.Fprint(stdout) })
+
+	if *manifest != "" {
+		if err := obs.WriteManifest(*manifest, "experiments", map[string]any{
+			"size": *size, "patterns": *patterns, "epochs": *epochs,
+			"seed": *seed, "quick": *quick, "run": *runSel,
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote run manifest to %s\n", *manifest)
+	}
+	return nil
 }

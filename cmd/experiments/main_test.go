@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestManifestSmoke runs the experiment driver end to end in Quick mode
+// (at reduced scale so the test stays fast) with -manifest and asserts
+// the emitted file is valid JSON containing the span tree and counters
+// the acceptance criteria name: train, faultsim and opi spans.
+func TestManifestSmoke(t *testing.T) {
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	obs.Reset()
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	var out bytes.Buffer
+	args := []string{
+		"-quick", "-size", "400", "-patterns", "256", "-epochs", "4",
+		"-run", "table3", "-manifest", path,
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, out.String())
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if m.Name != "experiments" || m.SchemaVersion != 1 {
+		t.Errorf("manifest identity: %+v", m)
+	}
+	if m.GOMAXPROCS <= 0 || m.GoVersion == "" {
+		t.Errorf("environment not captured: %+v", m)
+	}
+
+	roots := map[string]*obs.SpanNode{}
+	for _, s := range m.Snapshot.Spans {
+		roots[s.Name] = s
+	}
+	for _, want := range []string{"train", "faultsim", "opi", "scoap", "experiments/table3"} {
+		n, ok := roots[want]
+		if !ok {
+			t.Errorf("manifest span tree missing root %q (have %v)", want, spanNames(m.Snapshot.Spans))
+			continue
+		}
+		if n.Count <= 0 || n.WallNS <= 0 {
+			t.Errorf("span %q has no recorded executions: %+v", want, n)
+		}
+	}
+	if train := roots["train"]; train != nil {
+		if train.Find("epoch") == nil || train.Find("epoch/worker") == nil {
+			t.Errorf("train span lacks epoch/worker nesting: %+v", train)
+		}
+	}
+	if opiRoot := roots["opi"]; opiRoot != nil && opiRoot.Find("iteration") == nil {
+		t.Errorf("opi span lacks iteration children: %+v", opiRoot)
+	}
+
+	for _, want := range []string{"spmm.rows", "train.epochs", "faultsim.batches", "opi.iterations", "scoap.full_computes"} {
+		if m.Snapshot.Counters[want] <= 0 {
+			t.Errorf("counter %q missing or zero (have %v)", want, m.Snapshot.Counters)
+		}
+	}
+}
+
+func spanNames(spans []*obs.SpanNode) []string {
+	var out []string
+	for _, s := range spans {
+		out = append(out, s.Name)
+	}
+	return out
+}

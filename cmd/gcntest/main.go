@@ -15,11 +15,21 @@
 //	gcntest eval   design.bench [-patterns N] [-atpg]
 //	gcntest bist   design.bench [-patterns N] [-seed N]
 //	gcntest cpinsert -out modified.bench design.bench [-epsilon F]
+//
+// Global flags (before the subcommand):
+//
+//	gcntest [-manifest out.json] [-pprof addr] <subcommand> ...
+//
+// -manifest enables the observability layer (internal/obs) and writes a
+// run manifest when the subcommand finishes; -pprof serves
+// net/http/pprof on the given address. See docs/OBSERVABILITY.md.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"repro/internal/bist"
@@ -28,34 +38,50 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/fault"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/opi"
 	"repro/internal/scoap"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	manifest := flag.String("manifest", "", "enable instrumentation and write a run manifest JSON to this path")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
 		usage()
 	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "gcntest: pprof server:", err)
+			}
+		}()
+	}
+	if *manifest != "" {
+		obs.Enable()
+	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "gen":
-		err = cmdGen(os.Args[2:])
+		err = cmdGen(args[1:])
 	case "stats":
-		err = cmdStats(os.Args[2:])
+		err = cmdStats(args[1:])
 	case "label":
-		err = cmdLabel(os.Args[2:])
+		err = cmdLabel(args[1:])
 	case "train":
-		err = cmdTrain(os.Args[2:])
+		err = cmdTrain(args[1:])
 	case "infer":
-		err = cmdInfer(os.Args[2:])
+		err = cmdInfer(args[1:])
 	case "insert":
-		err = cmdInsert(os.Args[2:])
+		err = cmdInsert(args[1:])
 	case "eval":
-		err = cmdEval(os.Args[2:])
+		err = cmdEval(args[1:])
 	case "bist":
-		err = cmdBist(os.Args[2:])
+		err = cmdBist(args[1:])
 	case "cpinsert":
-		err = cmdCPInsert(os.Args[2:])
+		err = cmdCPInsert(args[1:])
 	default:
 		usage()
 	}
@@ -63,10 +89,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gcntest:", err)
 		os.Exit(1)
 	}
+	if *manifest != "" {
+		if werr := obs.WriteManifest(*manifest, "gcntest/"+args[0], map[string]any{
+			"subcommand": args[0], "args": args[1:],
+		}); werr != nil {
+			fmt.Fprintln(os.Stderr, "gcntest:", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote run manifest to %s\n", *manifest)
+	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: gcntest <gen|stats|label|train|infer|insert|eval|bist|cpinsert> [flags] [files]`)
+	fmt.Fprintln(os.Stderr, `usage: gcntest [-manifest out.json] [-pprof addr] <gen|stats|label|train|infer|insert|eval|bist|cpinsert> [flags] [files]`)
 	os.Exit(2)
 }
 

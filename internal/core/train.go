@@ -5,6 +5,14 @@ import (
 	"sync"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
+)
+
+// Training metrics (no-ops until obs.Enable; see docs/OBSERVABILITY.md).
+var (
+	trainEpochs  = obs.GetCounter("train.epochs")
+	trainGraphs  = obs.GetCounter("train.graphs")
+	trainWorkers = obs.GetGauge("train.workers")
 )
 
 // TrainOptions controls end-to-end GCN training.
@@ -82,6 +90,10 @@ func Train(m *Model, graphs []*Graph, labelSets [][]int, opt TrainOptions) ([]fl
 	if workers <= 0 || workers > len(graphs) {
 		workers = len(graphs)
 	}
+	span := obs.StartSpan("train")
+	defer span.End()
+	trainGraphs.Add(int64(len(graphs)))
+	trainWorkers.Set(int64(workers))
 
 	replicas := make([]*Model, workers)
 	for w := range replicas {
@@ -98,6 +110,7 @@ func Train(m *Model, graphs []*Graph, labelSets [][]int, opt TrainOptions) ([]fl
 
 	losses := make([]float64, len(graphs))
 	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		epochSpan := span.Child("epoch")
 		for w := 1; w < workers; w++ {
 			replicas[w].CopyParamsFrom(m)
 		}
@@ -109,6 +122,8 @@ func Train(m *Model, graphs []*Graph, labelSets [][]int, opt TrainOptions) ([]fl
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				workerSpan := epochSpan.Child("worker")
+				defer workerSpan.End()
 				for gi := w; gi < len(graphs); gi += workers {
 					losses[gi] = replicas[w].LossAndGrad(graphs[gi], labelSets[gi], weights)
 				}
@@ -141,6 +156,8 @@ func Train(m *Model, graphs []*Graph, labelSets [][]int, opt TrainOptions) ([]fl
 			opt2.LR *= opt.LRDecay
 		}
 		history = append(history, mean)
+		trainEpochs.Inc()
+		epochSpan.End()
 		if opt.Progress != nil {
 			opt.Progress(epoch, mean)
 		}

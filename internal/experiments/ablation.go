@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // StageAblationResult sweeps the cascade depth (Section 3.3's "after a
@@ -20,6 +21,8 @@ type StageAblationResult struct {
 // scores F1 on the fourth. One stage is the class-weighted single model;
 // the paper uses three.
 func StageAblation(cfg Config, maxStages int) StageAblationResult {
+	span := obs.StartSpan("experiments/ablation")
+	defer span.End()
 	cfg = cfg.withDefaults()
 	if maxStages <= 0 {
 		maxStages = 4

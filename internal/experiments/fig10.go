@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/circuitgen"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/scoap"
 )
 
@@ -35,6 +36,8 @@ type Fig10Result struct {
 // to 10⁵ nodes by default (10⁶ reachable via cfg.Size), timed under the
 // sparse matrix formulation and under naive per-node recursion.
 func Fig10(cfg Config) Fig10Result {
+	span := obs.StartSpan("experiments/fig10")
+	defer span.End()
 	cfg = cfg.withDefaults()
 	sizes := []int{1000, 3000, 10000, 30000, 100000}
 	sample := 64

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 // Fig8Curve is one search depth's accuracy trajectory.
@@ -27,6 +28,8 @@ type Fig8Result struct {
 // search depths 1, 2 and 3. The paper's conclusion — accuracy improves
 // with depth, D = 3 best — should re-emerge.
 func Fig8(cfg Config) Fig8Result {
+	span := obs.StartSpan("experiments/fig8")
+	defer span.End()
 	cfg = cfg.withDefaults()
 	suite := cfg.suite()
 	test := len(suite) - 1

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Fig9Row compares single-GCN and multi-stage F1 on one held-out design.
@@ -25,6 +26,8 @@ type Fig9Result struct {
 // (GCN-M), then score F1 on the held-out design. Accuracy would be
 // misleading at <1% positive rate, as the paper notes.
 func Fig9(cfg Config) Fig9Result {
+	span := obs.StartSpan("experiments/fig9")
+	defer span.End()
 	cfg = cfg.withDefaults()
 	suite := cfg.suite()
 	var res Fig9Result

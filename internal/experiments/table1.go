@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+
+	"repro/internal/obs"
 )
 
 // Table1Row is one design's statistics line.
@@ -22,6 +24,8 @@ type Table1Result struct {
 // Table1 generates the benchmark suite and gathers its statistics,
 // reproducing the paper's Table 1.
 func Table1(cfg Config) Table1Result {
+	span := obs.StartSpan("experiments/table1")
+	defer span.End()
 	cfg = cfg.withDefaults()
 	var res Table1Result
 	for _, b := range cfg.suite() {

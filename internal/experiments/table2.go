@@ -9,6 +9,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/features"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -31,6 +32,8 @@ type Table2Result struct {
 // versus the GCN on the raw graph, with three designs for training and
 // the fourth for testing, rotating through all four designs.
 func Table2(cfg Config) Table2Result {
+	span := obs.StartSpan("experiments/table2")
+	defer span.End()
 	cfg = cfg.withDefaults()
 	suite := cfg.suite()
 	coneSize := features.DefaultConeSize

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/opi"
 	"repro/internal/scoap"
 )
@@ -39,6 +40,8 @@ type Table3Result struct {
 // identical copies; all three modified netlists are scored by the same
 // random-pattern fault simulation (#OPs, #test patterns, coverage).
 func Table3(cfg Config) Table3Result {
+	span := obs.StartSpan("experiments/table3")
+	defer span.End()
 	cfg = cfg.withDefaults()
 	suite := cfg.suite()
 

@@ -20,6 +20,15 @@ import (
 	"math/rand"
 
 	"repro/internal/netlist"
+	"repro/internal/obs"
+)
+
+// Simulation metrics (no-ops until obs.Enable; see
+// docs/OBSERVABILITY.md).
+var (
+	faultsimBatches  = obs.GetCounter("faultsim.batches")
+	faultsimPatterns = obs.GetCounter("faultsim.patterns")
+	faultsimGateEval = obs.GetCounter("faultsim.gate_evals")
 )
 
 // WordSize is the number of patterns simulated per machine word.
@@ -71,6 +80,9 @@ func (s *Simulator) Batch(rng *rand.Rand) {
 // replay deterministic (e.g. PODEM-generated) patterns through the
 // bit-parallel engine.
 func (s *Simulator) BatchFrom(source func(id int32) uint64) {
+	faultsimBatches.Inc()
+	faultsimPatterns.Add(WordSize)
+	faultsimGateEval.Add(int64(len(s.order)))
 	n := s.n
 	vals, obs := s.vals, s.obs
 	for _, id := range s.order {
@@ -185,6 +197,8 @@ func (s *Simulator) propagateControlled(g *netlist.Gate, o uint64, andLike bool)
 // to whole 64-pattern words) and returns, per cell, how many patterns
 // observed the cell's output.
 func ObservabilityCounts(n *netlist.Netlist, numPatterns int, seed int64) []int {
+	span := obs.StartSpan("faultsim")
+	defer span.End()
 	s := NewSimulator(n)
 	rng := rand.New(rand.NewSource(seed))
 	counts := make([]int, n.NumGates())

@@ -5,6 +5,9 @@ import (
 	"math/rand"
 
 	"repro/internal/netlist"
+	// Aliased: this file's hot loops bind `obs` to the simulator's
+	// observability words.
+	obspkg "repro/internal/obs"
 )
 
 // SAFault is a single stuck-at fault on a cell's output net.
@@ -75,6 +78,8 @@ type TPGResult struct {
 // at node v when v's fault-free value is 1 under p and v is observable
 // under p; symmetrically for s-a-1.
 func GenerateTests(n *netlist.Netlist, cfg TPGConfig) TPGResult {
+	span := obspkg.StartSpan("tpg")
+	defer span.End()
 	cfg = cfg.withDefaults()
 	sim := NewSimulator(n)
 	rng := rand.New(rand.NewSource(cfg.Seed))

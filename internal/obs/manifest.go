@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// Manifest is the machine-readable record of one run: what was run
+// (name + arbitrary config), where (Go version, OS/arch, CPU budget,
+// git revision), and what happened (span tree + metrics). Marshaling is
+// deterministic given identical contents: map keys are sorted by
+// encoding/json and span children are sorted by name at snapshot time,
+// so two manifests of the same run differ only in measured quantities.
+type Manifest struct {
+	// SchemaVersion identifies the manifest layout; bump on breaking
+	// changes so downstream tooling can dispatch.
+	SchemaVersion int `json:"schema_version"`
+	// Name identifies the run (e.g. "experiments" or a subcommand).
+	Name string `json:"name"`
+	// Config echoes the run's configuration verbatim (flag values,
+	// experiment Config struct, ...).
+	Config any `json:"config,omitempty"`
+	// GoVersion, GOOS and GOARCH identify the toolchain and platform.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// NumCPU and GOMAXPROCS record the machine's and the process's
+	// parallelism budget.
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// GitDescribe is `git describe --always --dirty` at run time; empty
+	// when the binary runs outside a git checkout.
+	GitDescribe string `json:"git_describe,omitempty"`
+	// Snapshot holds the span tree and metric values.
+	Snapshot Snapshot `json:"snapshot"`
+}
+
+// NewManifest captures the environment and the current registry
+// snapshot into a manifest for the named run.
+func NewManifest(name string, config any) *Manifest {
+	return &Manifest{
+		SchemaVersion: 1,
+		Name:          name,
+		Config:        config,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		GitDescribe:   GitDescribe(),
+		Snapshot:      TakeSnapshot(),
+	}
+}
+
+// GitDescribe returns `git describe --always --dirty` for the current
+// working directory, or "" if git or the repository is unavailable.
+func GitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// MarshalIndent renders the manifest as indented JSON with a trailing
+// newline.
+func (m *Manifest) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile serializes the manifest to path.
+func (m *Manifest) WriteFile(path string) error {
+	b, err := m.MarshalIndent()
+	if err != nil {
+		return fmt.Errorf("obs: marshal manifest: %w", err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	return nil
+}
+
+// WriteManifest is the one-call form most binaries use: snapshot the
+// registry and write the run manifest to path.
+func WriteManifest(path, name string, config any) error {
+	return NewManifest(name, config).WriteFile(path)
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing, goroutine-safe metric. Obtain
+// one with GetCounter (typically once, in a package-level var) and call
+// Add/Inc on the hot path; while instrumentation is disabled both are a
+// single atomic load plus branch and allocate nothing.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// GetCounter returns the process-wide counter with the given name,
+// creating it on first use. Names follow the "subsystem.metric"
+// convention (see the package documentation).
+func GetCounter(name string) *Counter {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	c, ok := reg.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		reg.counters[name] = c
+	}
+	return c
+}
+
+// Add increases the counter by n while instrumentation is enabled.
+func (c *Counter) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increases the counter by one while instrumentation is enabled.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the accumulated count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a goroutine-safe last-value metric (e.g. the worker count a
+// run settled on).
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// GetGauge returns the process-wide gauge with the given name, creating
+// it on first use.
+func GetGauge(name string) *Gauge {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	g, ok := reg.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		reg.gauges[name] = g
+	}
+	return g
+}
+
+// Set records v as the gauge's current value while instrumentation is
+// enabled.
+func (g *Gauge) Set(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the last set value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i
+// (bucket 0 counts v == 0).
+const histBuckets = 65
+
+// Histogram is a goroutine-safe power-of-two-bucket histogram for
+// non-negative integer observations (iteration counts, batch sizes,
+// nanosecond durations). It tracks count, sum, min and max exactly and
+// the distribution at power-of-two resolution.
+type Histogram struct {
+	name    string
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid iff count > 0
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// GetHistogram returns the process-wide histogram with the given name,
+// creating it on first use.
+func GetHistogram(name string) *Histogram {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	h, ok := reg.hists[name]
+	if !ok {
+		h = &Histogram{name: name}
+		h.min.Store(math.MaxInt64)
+		reg.hists[name] = h
+	}
+	return h
+}
+
+// Observe records one observation while instrumentation is enabled.
+// Negative values are clamped to 0.
+func (h *Histogram) Observe(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(math.MaxInt64)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// HistogramBucket is one non-empty power-of-two bucket: Count
+// observations were <= UpperBound (and above the previous bucket's
+// bound).
+type HistogramBucket struct {
+	// UpperBound is the bucket's inclusive upper bound (2^i - 1).
+	UpperBound int64 `json:"le"`
+	// Count is the number of observations that landed in this bucket.
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is the serialized summary of a histogram.
+type HistogramSnapshot struct {
+	// Count is the total number of observations.
+	Count int64 `json:"count"`
+	// Sum is the sum of all observed values.
+	Sum int64 `json:"sum"`
+	// Min and Max are the exact observed extremes (0 when Count == 0).
+	Min int64 `json:"min"`
+	Max int64 `json:"max"`
+	// Buckets lists the non-empty power-of-two buckets in ascending
+	// bound order.
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// snapshot captures the histogram's current state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+		s.Max = h.max.Load()
+	}
+	for i := range h.buckets {
+		if c := h.buckets[i].Load(); c != 0 {
+			bound := int64(math.MaxInt64)
+			if i < 63 {
+				bound = (int64(1) << i) - 1
+			}
+			s.Buckets = append(s.Buckets, HistogramBucket{UpperBound: bound, Count: c})
+		}
+	}
+	return s
+}

@@ -1,0 +1,130 @@
+// Package obs is the repository's zero-dependency observability layer:
+// hierarchical timing spans, atomic counters/gauges/histograms, and a
+// run-manifest emitter that serializes a whole run (configuration,
+// environment, span tree, metrics) to deterministic JSON.
+//
+// The paper's headline claim is performance — sparse-matrix inference and
+// data-parallel training scaling to million-node netlists — so every hot
+// path in this reproduction (SpMM, training epochs, bit-parallel fault
+// simulation, SCOAP, the OPI loop) reports into this package, and
+// cmd/experiments, cmd/gcntest and cmd/benchjson can dump what happened
+// as a machine-readable artifact (see docs/OBSERVABILITY.md).
+//
+// # Gating
+//
+// Instrumentation is disabled by default and enabled explicitly
+// (typically by a -manifest flag) via Enable. While disabled, every
+// entry point is engineered to cost almost nothing: StartSpan returns a
+// nil *Span whose methods are no-ops, and Counter.Add is a single atomic
+// load plus branch. Disabled paths allocate zero bytes.
+//
+// # Naming conventions
+//
+// Metric keys are lowercase, dot-separated "subsystem.metric" (e.g.
+// "spmm.rows", "faultsim.batches", "opi.iterations"). Span names are
+// lowercase path segments; nesting is expressed through Child spans, and
+// a segment may use "/" to mark a logical phase within one subsystem
+// (e.g. the root span "experiments/table3"). Spans with the same name
+// under the same parent are merged: the node records how many times the
+// span ran, total wall time, and total allocation delta.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// enabled gates all instrumentation; manipulated via Enable/Disable.
+var enabled atomic.Bool
+
+// Enable turns instrumentation on process-wide.
+func Enable() { enabled.Store(true) }
+
+// Disable turns instrumentation off process-wide. Already-recorded spans
+// and metric values are kept until Reset.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether instrumentation is currently on.
+func Enabled() bool { return enabled.Load() }
+
+// registry is the process-wide store behind the package-level API.
+type registry struct {
+	mu       sync.Mutex
+	root     *node
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+var reg = newRegistry()
+
+func newRegistry() *registry {
+	return &registry{
+		root:     &node{name: ""},
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Reset clears the span tree and zeroes every registered metric. Metric
+// handles returned by GetCounter etc. remain valid. Intended for tests
+// and for tools that emit several manifests from one process.
+func Reset() {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	reg.root = &node{name: ""}
+	for _, c := range reg.counters {
+		c.v.Store(0)
+	}
+	for _, g := range reg.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range reg.hists {
+		h.reset()
+	}
+}
+
+// Snapshot is a point-in-time copy of everything the registry holds, in
+// the deterministic order used by manifests: span children and metric
+// keys sorted by name.
+type Snapshot struct {
+	// Spans holds the root-level span nodes (sorted by name).
+	Spans []*SpanNode `json:"spans"`
+	// Counters maps counter name to accumulated value.
+	Counters map[string]int64 `json:"counters"`
+	// Gauges maps gauge name to last set value.
+	Gauges map[string]int64 `json:"gauges"`
+	// Histograms maps histogram name to its distribution summary.
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// TakeSnapshot captures the current span tree and metric values.
+// Counters/gauges/histograms that are still zero are omitted so
+// manifests only report subsystems that actually ran.
+func TakeSnapshot() Snapshot {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	s.Spans = reg.root.snapshotChildren()
+	for name, c := range reg.counters {
+		if v := c.v.Load(); v != 0 {
+			s.Counters[name] = v
+		}
+	}
+	for name, g := range reg.gauges {
+		if v := g.v.Load(); v != 0 {
+			s.Gauges[name] = v
+		}
+	}
+	for name, h := range reg.hists {
+		if snap := h.snapshot(); snap.Count != 0 {
+			s.Histograms[name] = snap
+		}
+	}
+	return s
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// node is one aggregation point in the live span tree. Spans with the
+// same name under the same parent merge into a single node.
+type node struct {
+	name string
+
+	mu       sync.Mutex
+	count    int64
+	wallNS   int64
+	allocB   int64
+	children map[string]*node
+}
+
+// child finds or creates the named child node; safe for concurrent use.
+func (n *node) child(name string) *node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.children == nil {
+		n.children = map[string]*node{}
+	}
+	c, ok := n.children[name]
+	if !ok {
+		c = &node{name: name}
+		n.children[name] = c
+	}
+	return c
+}
+
+// record merges one completed span occurrence into the node.
+func (n *node) record(wall time.Duration, allocBytes int64) {
+	n.mu.Lock()
+	n.count++
+	n.wallNS += int64(wall)
+	n.allocB += allocBytes
+	n.mu.Unlock()
+}
+
+// snapshotChildren deep-copies the subtree below n with children sorted
+// by name; the caller holds no lock on descendants, so each node locks
+// itself briefly.
+func (n *node) snapshotChildren() []*SpanNode {
+	n.mu.Lock()
+	kids := make([]*node, 0, len(n.children))
+	for _, c := range n.children {
+		kids = append(kids, c)
+	}
+	n.mu.Unlock()
+	sort.Slice(kids, func(i, j int) bool { return kids[i].name < kids[j].name })
+	out := make([]*SpanNode, 0, len(kids))
+	for _, c := range kids {
+		c.mu.Lock()
+		sn := &SpanNode{Name: c.name, Count: c.count, WallNS: c.wallNS, AllocBytes: c.allocB}
+		c.mu.Unlock()
+		sn.Children = c.snapshotChildren()
+		out = append(out, sn)
+	}
+	return out
+}
+
+// SpanNode is the serialized form of one span aggregation point: how
+// many times the span ran, its total wall time, the process-wide
+// allocation delta observed across its executions, and its children
+// sorted by name.
+type SpanNode struct {
+	// Name is the span's name segment (unique among siblings).
+	Name string `json:"name"`
+	// Count is how many times a span with this path completed.
+	Count int64 `json:"count"`
+	// WallNS is the total wall-clock time across all completions, in
+	// nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// AllocBytes is the total heap-allocation delta (runtime TotalAlloc
+	// at End minus at start, summed). It is process-wide: allocations by
+	// concurrent goroutines are attributed to whichever spans are open.
+	AllocBytes int64 `json:"alloc_bytes"`
+	// Children holds nested spans, sorted by name.
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// Find returns the descendant with the given slash-separated path below
+// n (e.g. "epoch/worker"), or nil.
+func (n *SpanNode) Find(path string) *SpanNode {
+	cur := n
+	for _, seg := range strings.Split(path, "/") {
+		var next *SpanNode
+		for _, c := range cur.Children {
+			if c.Name == seg {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Span is a live timing span. A nil *Span (returned whenever
+// instrumentation is disabled) is valid: all methods are no-ops, so
+// callers never branch on Enabled themselves.
+type Span struct {
+	n          *node
+	start      time.Time
+	startAlloc uint64
+}
+
+// allocOff disables per-span runtime.ReadMemStats sampling when set
+// (sampling stops the world briefly, so extremely span-dense workloads
+// may turn it off via SetAllocSampling).
+var allocOff atomic.Bool
+
+// SetAllocSampling toggles per-span allocation-delta sampling (default
+// on). Wall times and counts are unaffected.
+func SetAllocSampling(on bool) { allocOff.Store(!on) }
+
+// readAlloc returns the runtime's cumulative allocated-bytes figure, or
+// 0 when sampling is off.
+func readAlloc() uint64 {
+	if allocOff.Load() {
+		return 0
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
+}
+
+// StartSpan opens a root-level span. Returns nil (a valid no-op span)
+// while instrumentation is disabled; the disabled path performs one
+// atomic load and allocates nothing.
+func StartSpan(name string) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	return &Span{n: reg.root.child(name), start: time.Now(), startAlloc: readAlloc()}
+}
+
+// Child opens a nested span under s. Safe to call from multiple
+// goroutines on the same parent. On a nil receiver it returns nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{n: s.n.child(name), start: time.Now(), startAlloc: readAlloc()}
+}
+
+// End closes the span, merging its wall time and allocation delta into
+// the tree. No-op on a nil receiver. End must be called at most once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	var alloc int64
+	if s.startAlloc != 0 {
+		if end := readAlloc(); end > s.startAlloc {
+			alloc = int64(end - s.startAlloc)
+		}
+	}
+	s.n.record(time.Since(s.start), alloc)
+}
+
+// ctxKey keys the active span in a context.
+type ctxKey struct{}
+
+// WithSpan opens a span nested under the context's active span (or at
+// the root) and returns a derived context carrying it. This is the
+// convenience form for call chains that already thread a context;
+// packages without one use StartSpan/Child directly.
+func WithSpan(ctx context.Context, name string) (context.Context, *Span) {
+	var s *Span
+	if parent, ok := ctx.Value(ctxKey{}).(*Span); ok && parent != nil {
+		s = parent.Child(name)
+	} else {
+		s = StartSpan(name)
+	}
+	if s == nil {
+		return ctx, nil
+	}
+	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// SpanFromContext returns the context's active span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

@@ -23,7 +23,16 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/scoap"
+)
+
+// Insertion-flow metrics (no-ops until obs.Enable; see
+// docs/OBSERVABILITY.md).
+var (
+	opiIterations = obs.GetCounter("opi.iterations")
+	opiInsertions = obs.GetCounter("opi.insertions")
+	opiPositives  = obs.GetHistogram("opi.positives")
 )
 
 // Predictor produces per-node positive (difficult-to-observe)
@@ -95,10 +104,14 @@ type FlowResult struct {
 // RunFlow executes the iterative insertion flow, mutating the netlist,
 // measures and graph in place.
 func RunFlow(n *netlist.Netlist, meas *scoap.Measures, g *core.Graph, pred Predictor, cfg FlowConfig) FlowResult {
+	span := obs.StartSpan("opi")
+	defer span.End()
 	cfg = cfg.withDefaults()
 	res := FlowResult{}
 	observed := observedSet(n)
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		iterSpan := span.Child("iteration")
+		opiIterations.Inc()
 		probs := pred.PredictProbs(g)
 		positives := make(map[int32]bool)
 		for v := 0; v < g.N && v < n.NumGates(); v++ {
@@ -108,10 +121,12 @@ func RunFlow(n *netlist.Netlist, meas *scoap.Measures, g *core.Graph, pred Predi
 		}
 		res.Iterations = iter + 1
 		res.FinalPositives = len(positives)
+		opiPositives.Observe(int64(len(positives)))
 		if cfg.Progress != nil {
 			cfg.Progress(iter, len(positives), len(res.Targets))
 		}
 		if len(positives) == 0 {
+			iterSpan.End()
 			return res
 		}
 
@@ -125,6 +140,7 @@ func RunFlow(n *netlist.Netlist, meas *scoap.Measures, g *core.Graph, pred Predi
 			selected = selected[:cfg.MaxInsertions-len(res.Targets)]
 		}
 		if len(selected) == 0 {
+			iterSpan.End()
 			return res
 		}
 		for _, v := range selected {
@@ -132,6 +148,8 @@ func RunFlow(n *netlist.Netlist, meas *scoap.Measures, g *core.Graph, pred Predi
 			observed[v] = true
 			res.Targets = append(res.Targets, v)
 		}
+		opiInsertions.Add(int64(len(selected)))
+		iterSpan.End()
 		if cfg.MaxInsertions > 0 && len(res.Targets) >= cfg.MaxInsertions {
 			return res
 		}

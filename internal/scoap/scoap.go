@@ -21,6 +21,13 @@ import (
 	"sort"
 
 	"repro/internal/netlist"
+	"repro/internal/obs"
+)
+
+// Analysis metrics (no-ops until obs.Enable; see docs/OBSERVABILITY.md).
+var (
+	scoapComputes    = obs.GetCounter("scoap.full_computes")
+	scoapIncremental = obs.GetCounter("scoap.incremental_updates")
 )
 
 // Unobservable is the saturated measure value for nets with no path to an
@@ -40,6 +47,9 @@ type Measures struct {
 // Full-scan discipline is assumed: flip-flop outputs are fully
 // controllable and flip-flop data inputs are fully observable.
 func Compute(n *netlist.Netlist) *Measures {
+	span := obs.StartSpan("scoap")
+	defer span.End()
+	scoapComputes.Inc()
 	m := &Measures{
 		CC0: make([]int32, n.NumGates()),
 		CC1: make([]int32, n.NumGates()),
@@ -172,6 +182,7 @@ func (m *Measures) lowerCO(id, v int32) {
 // and only for cells in the fan-in cone of the observed net. The cone is
 // re-relaxed in reverse topological order.
 func (m *Measures) UpdateAfterObservationPoint(n *netlist.Netlist, op int32) {
+	scoapIncremental.Inc()
 	// Grow the measure slices to cover the new cell(s).
 	for int32(len(m.CO)) < int32(n.NumGates()) {
 		m.CC0 = append(m.CC0, 0)

@@ -15,16 +15,27 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
+)
+
+// Hot-path metrics (no-ops until obs.Enable; see docs/OBSERVABILITY.md).
+var (
+	spmmRows          = obs.GetCounter("spmm.rows")
+	spmmCalls         = obs.GetCounter("spmm.calls")
+	spmmParallelCalls = obs.GetCounter("spmm.parallel_calls")
 )
 
 // COO is a sparse matrix in coordinate format. Duplicate (row,col)
 // entries are allowed and are summed by multiplication and by CSR
 // conversion, matching the usual COO semantics.
 type COO struct {
+	// NumRows and NumCols are the logical matrix dimensions.
 	NumRows, NumCols int
-	Rows, Cols       []int32
-	Vals             []float64
+	// Rows and Cols hold the coordinate of each stored tuple.
+	Rows, Cols []int32
+	// Vals holds each tuple's value, parallel to Rows/Cols.
+	Vals []float64
 }
 
 // NewCOO returns an empty r×c COO matrix.
@@ -114,10 +125,15 @@ func (m *COO) ToCSR() *CSR {
 // CSR is a sparse matrix in compressed sparse row format. Row i's entries
 // occupy ColIdx/Vals[RowPtr[i]:RowPtr[i+1]].
 type CSR struct {
+	// NumRows and NumCols are the logical matrix dimensions.
 	NumRows, NumCols int
-	RowPtr           []int32
-	ColIdx           []int32
-	Vals             []float64
+	// RowPtr has length NumRows+1; row i's entries span
+	// [RowPtr[i], RowPtr[i+1]).
+	RowPtr []int32
+	// ColIdx holds the column index of each stored entry.
+	ColIdx []int32
+	// Vals holds each entry's value, parallel to ColIdx.
+	Vals []float64
 }
 
 // NNZ returns the number of stored entries.
@@ -175,19 +191,30 @@ func (m *CSR) mulRows(dst, x *tensor.Dense, lo, hi int) {
 }
 
 // MulDenseParallel is MulDense with rows partitioned across workers
-// goroutines (workers <= 0 selects GOMAXPROCS). This is the CPU analogue
-// of the paper's GPU SpMM.
+// goroutines (workers <= 0 selects GOMAXPROCS; values above
+// runtime.NumCPU() are clamped — more workers than cores only adds
+// scheduling overhead). This is the CPU analogue of the paper's GPU
+// SpMM.
 func (m *CSR) MulDenseParallel(dst, x *tensor.Dense, workers int) {
 	if x.Rows != m.NumCols || dst.Rows != m.NumRows || dst.Cols != x.Cols {
 		panic("sparse: CSR MulDenseParallel shape mismatch")
 	}
+	spmmCalls.Inc()
+	spmmRows.Add(int64(m.NumRows))
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > runtime.NumCPU() {
+		workers = runtime.NumCPU()
+	}
+	// Serial fallback: with fewer than two rows per worker the goroutine
+	// fan-out costs more than it saves (and rows < workers would leave
+	// some workers with an empty range).
 	if workers == 1 || m.NumRows < 2*workers {
 		m.mulRows(dst, x, 0, m.NumRows)
 		return
 	}
+	spmmParallelCalls.Inc()
 	var wg sync.WaitGroup
 	chunk := (m.NumRows + workers - 1) / workers
 	for w := 0; w < workers; w++ {

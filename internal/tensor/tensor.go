@@ -17,8 +17,10 @@ import (
 // Dense is a row-major matrix. Data has length Rows*Cols and element
 // (i,j) lives at Data[i*Cols+j].
 type Dense struct {
+	// Rows and Cols are the matrix dimensions.
 	Rows, Cols int
-	Data       []float64
+	// Data is the row-major backing array of length Rows*Cols.
+	Data []float64
 }
 
 // NewDense allocates a zeroed Rows×Cols matrix.

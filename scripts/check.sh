@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Pre-merge gate: run from anywhere; fails fast on the first problem.
+#
+#   ./scripts/check.sh
+#
+# What it checks (referenced from README.md "Measuring performance"):
+#   1. go vet over every package
+#   2. gofmt cleanliness (no files would be rewritten)
+#   3. race-detector tests for the concurrency-heavy packages
+#      (internal/obs metrics registry, internal/core parallel trainer)
+#   4. the full test suite
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go test -race ./internal/obs ./internal/core"
+go test -race ./internal/obs ./internal/core
+
+echo "== go build ./... && go test ./..."
+go build ./...
+go test ./...
+
+echo "check.sh: all gates passed"
