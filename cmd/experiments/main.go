@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments [-size N] [-patterns N] [-epochs N] [-seed N] [-quick]
-//	            [-run LIST] [-manifest out.json] [-pprof addr]
+//	            [-run LIST] [-manifest out.json] [-trace out.json] [-pprof addr]
 //
 // -run selects a comma-separated subset of
 // table1,fig8,table2,fig9,fig10,table3 (default: all).
@@ -13,8 +13,13 @@
 // run manifest — span tree, counters, environment — to the given path
 // when all selected experiments finish; see docs/OBSERVABILITY.md.
 //
-// -pprof serves net/http/pprof on the given address (e.g.
-// "localhost:6060") for live CPU/heap profiling of long runs.
+// -trace additionally records every span occurrence and event and
+// writes a Chrome Trace Event Format JSON loadable in chrome://tracing
+// or Perfetto (one timeline row per training worker).
+//
+// -pprof serves net/http/pprof plus the live /metrics (Prometheus text)
+// and /snapshot (JSON) endpoints on the given address (e.g.
+// "localhost:6060") for profiling and scraping long runs.
 package main
 
 import (
@@ -49,20 +54,25 @@ func run(args []string, stdout io.Writer) error {
 	quick := fs.Bool("quick", false, "shrink everything for a fast smoke run")
 	runSel := fs.String("run", "all", "comma-separated experiments: table1,fig8,table2,fig9,fig10,table3,ablation (ablation is opt-in, not part of all)")
 	manifest := fs.String("manifest", "", "enable instrumentation and write a run manifest JSON to this path")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	trace := fs.String("trace", "", "enable span tracing and write a Chrome Trace Event JSON to this path")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof, /metrics and /snapshot on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *pprofAddr != "" {
+		obs.RegisterHTTP(nil)
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments: pprof server:", err)
 			}
 		}()
 	}
-	if *manifest != "" {
+	if *manifest != "" || *trace != "" {
 		obs.Enable()
+	}
+	if *trace != "" {
+		obs.EnableTracing()
 	}
 
 	cfg := experiments.Config{
@@ -106,6 +116,12 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote run manifest to %s\n", *manifest)
+	}
+	if *trace != "" {
+		if err := obs.WriteTrace(*trace); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote Chrome trace to %s\n", *trace)
 	}
 	return nil
 }

@@ -75,6 +75,90 @@ func TestManifestSmoke(t *testing.T) {
 	}
 }
 
+// TestFig10TraceSmoke runs the acceptance-criteria invocation —
+// -run fig10 with both -trace and -manifest — at reduced scale and
+// asserts the trace is valid Chrome Trace Event Format with one tid per
+// training worker and the manifest carries per-epoch loss/timing
+// events.
+func TestFig10TraceSmoke(t *testing.T) {
+	defer func() {
+		obs.DisableTracing()
+		obs.Disable()
+		obs.Reset()
+	}()
+	obs.Reset()
+	dir := t.TempDir()
+	manifestPath := filepath.Join(dir, "m.json")
+	tracePath := filepath.Join(dir, "out.json")
+	var out bytes.Buffer
+	args := []string{
+		"-quick", "-size", "400", "-patterns", "128", "-epochs", "3",
+		"-run", "fig10", "-trace", tracePath, "-manifest", manifestPath,
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, out.String())
+	}
+
+	rawM, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(rawM, &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	epochs := 0
+	for _, ev := range m.Snapshot.Events {
+		if ev.Name != "train.epoch" {
+			continue
+		}
+		epochs++
+		if _, ok := ev.Attrs["loss"].(float64); !ok {
+			t.Errorf("epoch event lacks numeric loss: %v", ev.Attrs)
+		}
+		if _, ok := ev.Attrs["wall_ms"].(float64); !ok {
+			t.Errorf("epoch event lacks wall_ms: %v", ev.Attrs)
+		}
+	}
+	if epochs != 3 {
+		t.Errorf("manifest has %d train.epoch events, want 3", epochs)
+	}
+
+	rawT, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int64   `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rawT, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	workerTIDs := map[int64]bool{}
+	sawEpochInstant := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "train/epoch/worker" {
+			workerTIDs[ev.TID] = true
+		}
+		if ev.Ph == "i" && ev.Name == "train.epoch" {
+			sawEpochInstant = true
+		}
+	}
+	// Fig10 trains on a single graph, so one worker timeline (tid 1).
+	if len(workerTIDs) != 1 || !workerTIDs[1] {
+		t.Errorf("worker span tids = %v, want exactly {1}", workerTIDs)
+	}
+	if !sawEpochInstant {
+		t.Error("trace lacks train.epoch instant events")
+	}
+}
+
 func spanNames(spans []*obs.SpanNode) []string {
 	var out []string
 	for _, s := range spans {

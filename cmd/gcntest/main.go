@@ -18,11 +18,14 @@
 //
 // Global flags (before the subcommand):
 //
-//	gcntest [-manifest out.json] [-pprof addr] <subcommand> ...
+//	gcntest [-manifest out.json] [-trace out.json] [-pprof addr] <subcommand> ...
 //
 // -manifest enables the observability layer (internal/obs) and writes a
-// run manifest when the subcommand finishes; -pprof serves
-// net/http/pprof on the given address. See docs/OBSERVABILITY.md.
+// run manifest when the subcommand finishes; -trace additionally
+// records a Chrome Trace Event Format timeline (chrome://tracing /
+// Perfetto); -pprof serves net/http/pprof plus the live /metrics
+// (Prometheus text) and /snapshot (JSON) endpoints on the given
+// address. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -45,7 +48,8 @@ import (
 
 func main() {
 	manifest := flag.String("manifest", "", "enable instrumentation and write a run manifest JSON to this path")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	trace := flag.String("trace", "", "enable span tracing and write a Chrome Trace Event JSON to this path")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, /metrics and /snapshot on this address (e.g. localhost:6060)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -53,14 +57,18 @@ func main() {
 		usage()
 	}
 	if *pprofAddr != "" {
+		obs.RegisterHTTP(nil)
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "gcntest: pprof server:", err)
 			}
 		}()
 	}
-	if *manifest != "" {
+	if *manifest != "" || *trace != "" {
 		obs.Enable()
+	}
+	if *trace != "" {
+		obs.EnableTracing()
 	}
 	var err error
 	switch args[0] {
@@ -98,10 +106,17 @@ func main() {
 		}
 		fmt.Printf("wrote run manifest to %s\n", *manifest)
 	}
+	if *trace != "" {
+		if werr := obs.WriteTrace(*trace); werr != nil {
+			fmt.Fprintln(os.Stderr, "gcntest:", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace to %s\n", *trace)
+	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: gcntest [-manifest out.json] [-pprof addr] <gen|stats|label|train|infer|insert|eval|bist|cpinsert> [flags] [files]`)
+	fmt.Fprintln(os.Stderr, `usage: gcntest [-manifest out.json] [-trace out.json] [-pprof addr] <gen|stats|label|train|infer|insert|eval|bist|cpinsert> [flags] [files]`)
 	os.Exit(2)
 }
 

@@ -1,6 +1,11 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
 
 // MultiStage is the paper's cascade for extreme class imbalance (Section
 // 3.3): each stage is a GCN trained with a large positive class weight so
@@ -106,10 +111,25 @@ func TrainMultiStage(graphs []*Graph, opt MultiStageOptions) (*MultiStage, error
 			// every stage (including the last) trains roughly balanced.
 			topt.PosWeight = stageWeight(remaining, positives)
 		}
-		if _, err := Train(model, graphs, labelSets, topt); err != nil {
+		stageStart := time.Now()
+		hist, err := Train(model, graphs, labelSets, topt)
+		if err != nil {
 			return nil, err
 		}
 		ms.Stages = append(ms.Stages, model)
+		if obs.Enabled() {
+			finalLoss := 0.0
+			if len(hist) > 0 {
+				finalLoss = hist[len(hist)-1]
+			}
+			obs.Event("train.stage",
+				obs.I("stage", int64(s)),
+				obs.I("remaining", int64(remaining)),
+				obs.I("positives", int64(positives)),
+				obs.F("pos_weight", topt.PosWeight),
+				obs.F("final_loss", finalLoss),
+				obs.F("wall_ms", float64(time.Since(stageStart).Nanoseconds())/1e6))
+		}
 
 		if s == opt.NumStages-1 {
 			break

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/nn"
 	"repro/internal/obs"
@@ -13,6 +14,7 @@ var (
 	trainEpochs  = obs.GetCounter("train.epochs")
 	trainGraphs  = obs.GetCounter("train.graphs")
 	trainWorkers = obs.GetGauge("train.workers")
+	trainEpochNS = obs.GetHistogram("train.epoch_ns")
 )
 
 // TrainOptions controls end-to-end GCN training.
@@ -94,6 +96,9 @@ func Train(m *Model, graphs []*Graph, labelSets [][]int, opt TrainOptions) ([]fl
 	defer span.End()
 	trainGraphs.Add(int64(len(graphs)))
 	trainWorkers.Set(int64(workers))
+	for w := 0; w < workers; w++ {
+		obs.TraceThreadName(int64(w+1), fmt.Sprintf("train worker %d", w))
+	}
 
 	replicas := make([]*Model, workers)
 	for w := range replicas {
@@ -109,7 +114,9 @@ func Train(m *Model, graphs []*Graph, labelSets [][]int, opt TrainOptions) ([]fl
 	history := make([]float64, 0, opt.Epochs)
 
 	losses := make([]float64, len(graphs))
+	workerWallNS := make([]int64, workers)
 	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		epochStart := time.Now()
 		epochSpan := span.Child("epoch")
 		for w := 1; w < workers; w++ {
 			replicas[w].CopyParamsFrom(m)
@@ -122,11 +129,13 @@ func Train(m *Model, graphs []*Graph, labelSets [][]int, opt TrainOptions) ([]fl
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				workerSpan := epochSpan.Child("worker")
-				defer workerSpan.End()
+				wstart := time.Now()
+				workerSpan := epochSpan.ChildTID("worker", int64(w+1))
 				for gi := w; gi < len(graphs); gi += workers {
 					losses[gi] = replicas[w].LossAndGrad(graphs[gi], labelSets[gi], weights)
 				}
+				workerSpan.End()
+				workerWallNS[w] = time.Since(wstart).Nanoseconds()
 			}(w)
 		}
 		wg.Wait()
@@ -158,6 +167,16 @@ func Train(m *Model, graphs []*Graph, labelSets [][]int, opt TrainOptions) ([]fl
 		history = append(history, mean)
 		trainEpochs.Inc()
 		epochSpan.End()
+		if obs.Enabled() {
+			wallNS := time.Since(epochStart).Nanoseconds()
+			trainEpochNS.Observe(wallNS)
+			obs.Event("train.epoch",
+				obs.I("epoch", int64(epoch)),
+				obs.F("loss", mean),
+				obs.F("wall_ms", float64(wallNS)/1e6),
+				obs.I("workers", int64(workers)),
+				obs.F("worker_imbalance", workerImbalance(workerWallNS)))
+		}
 		if opt.Progress != nil {
 			opt.Progress(epoch, mean)
 		}
@@ -166,6 +185,30 @@ func Train(m *Model, graphs []*Graph, labelSets [][]int, opt TrainOptions) ([]fl
 		}
 	}
 	return history, nil
+}
+
+// workerImbalance quantifies data-parallel load skew for one epoch as
+// (slowest - fastest) / slowest over the workers' wall times: 0 means
+// perfectly balanced, values near 1 mean the epoch barrier is dominated
+// by a straggler (the merged-gradient update cannot proceed until every
+// replica finishes its graphs).
+func workerImbalance(wallNS []int64) float64 {
+	if len(wallNS) == 0 {
+		return 0
+	}
+	min, max := wallNS[0], wallNS[0]
+	for _, w := range wallNS[1:] {
+		if w < min {
+			min = w
+		}
+		if w > max {
+			max = w
+		}
+	}
+	if max <= 0 {
+		return 0
+	}
+	return float64(max-min) / float64(max)
 }
 
 // Accuracy computes classification accuracy of the model on g restricted

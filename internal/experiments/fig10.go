@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/circuitgen"
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/obs"
 	"repro/internal/scoap"
 )
@@ -46,6 +47,27 @@ func Fig10(cfg Config) Fig10Result {
 		sample = 16
 	}
 	model := core.MustNewModel(cfg.modelConfig(3, cfg.Seed+1))
+
+	// The paper times inference with trained D=3 weights, so fit the
+	// model briefly on one labeled design first. Weights do not change
+	// the runtime being measured; the budget is capped well below the
+	// accuracy experiments' so the sweep still dominates.
+	trainEpochs := cfg.Epochs
+	if trainEpochs > 20 {
+		trainEpochs = 20
+	}
+	trainPatterns := cfg.Patterns
+	if trainPatterns > 1024 {
+		trainPatterns = 1024
+	}
+	bench := dataset.Label("fig10-train", circuitgen.Generate("fig10-train", circuitgen.Config{
+		Seed: cfg.Seed + 7, NumGates: sizes[0],
+	}), trainPatterns, dataset.DefaultThreshold, cfg.Seed+7)
+	topt := cfg.trainOptions()
+	topt.Epochs = trainEpochs
+	if _, err := core.Train(model, []*core.Graph{bench.Graph}, nil, topt); err != nil {
+		panic(err) // unreachable: one well-formed graph with matching labels
+	}
 
 	var res Fig10Result
 	for _, size := range sizes {

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Live exposition: /metrics serves the counter/gauge/histogram registry
+// in Prometheus text format and /snapshot serves the full Snapshot
+// (span tree, metrics, events) as JSON, so a multi-hour run can be
+// watched while it executes. Both cmd binaries register these on the
+// same mux as their -pprof server.
+
+// metricPrefix namespaces every exposed metric; dots in registry keys
+// become underscores ("spmm.rows" → "repro_spmm_rows").
+const metricPrefix = "repro_"
+
+// promName converts a registry key to a Prometheus-legal metric name.
+func promName(key string) string {
+	var b strings.Builder
+	b.WriteString(metricPrefix)
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sortedKeys returns m's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// writeMetrics renders the whole registry — including still-zero
+// metrics, per Prometheus convention — in exposition text format.
+func writeMetrics(w *strings.Builder) {
+	reg.mu.Lock()
+	counters := make(map[string]int64, len(reg.counters))
+	for k, c := range reg.counters {
+		counters[k] = c.Value()
+	}
+	gauges := make(map[string]int64, len(reg.gauges))
+	for k, g := range reg.gauges {
+		gauges[k] = g.Value()
+	}
+	hists := make(map[string]HistogramSnapshot, len(reg.hists))
+	for k, h := range reg.hists {
+		hists[k] = h.snapshot()
+	}
+	reg.mu.Unlock()
+
+	for _, k := range sortedKeys(counters) {
+		name := promName(k)
+		fmt.Fprintf(w, "# TYPE %s_total counter\n%s_total %d\n", name, name, counters[k])
+	}
+	for _, k := range sortedKeys(gauges) {
+		name := promName(k)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, gauges[k])
+	}
+	for _, k := range sortedKeys(hists) {
+		name := promName(k)
+		snap := hists[k]
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		// Registry buckets hold per-bucket counts; Prometheus buckets are
+		// cumulative.
+		var cum int64
+		for _, b := range snap.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.UpperBound, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count)
+		fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, snap.Sum, name, snap.Count)
+	}
+}
+
+// MetricsHandler serves the metric registry in Prometheus text
+// exposition format.
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var b strings.Builder
+		writeMetrics(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, b.String())
+	})
+}
+
+// SnapshotHandler serves the full registry snapshot — span tree,
+// metrics, event timeline — as indented JSON.
+func SnapshotHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		b, err := json.MarshalIndent(TakeSnapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(b, '\n'))
+	})
+}
+
+// defaultMuxOnce guards registration on http.DefaultServeMux, which
+// panics on duplicate patterns (RegisterHTTP may be reached repeatedly
+// by in-process tests of the cmd binaries).
+var defaultMuxOnce sync.Once
+
+// RegisterHTTP registers /metrics and /snapshot on mux; nil selects
+// http.DefaultServeMux (where net/http/pprof also registers, so one
+// -pprof listener serves profiles, metrics and snapshots together).
+func RegisterHTTP(mux *http.ServeMux) {
+	if mux == nil {
+		defaultMuxOnce.Do(func() {
+			http.Handle("/metrics", MetricsHandler())
+			http.Handle("/snapshot", SnapshotHandler())
+		})
+		return
+	}
+	mux.Handle("/metrics", MetricsHandler())
+	mux.Handle("/snapshot", SnapshotHandler())
+}

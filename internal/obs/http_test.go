@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestMetricsHandlerPrometheusText(t *testing.T) {
+	withEnabled(t, func() {
+		GetCounter("spmm.rows").Add(1234)
+		GetGauge("train.workers").Set(4)
+		h := GetHistogram("opi.positives")
+		h.Observe(3)
+		h.Observe(17)
+
+		rec := httptest.NewRecorder()
+		MetricsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d", rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Errorf("content type = %q", ct)
+		}
+		body := rec.Body.String()
+
+		for _, want := range []string{
+			"# TYPE repro_spmm_rows_total counter",
+			"repro_spmm_rows_total 1234",
+			"# TYPE repro_train_workers gauge",
+			"repro_train_workers 4",
+			"# TYPE repro_opi_positives histogram",
+			`repro_opi_positives_bucket{le="3"} 1`,
+			`repro_opi_positives_bucket{le="31"} 2`, // cumulative
+			`repro_opi_positives_bucket{le="+Inf"} 2`,
+			"repro_opi_positives_sum 20",
+			"repro_opi_positives_count 2",
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("exposition missing %q:\n%s", want, body)
+			}
+		}
+		if err := checkPrometheusText(body); err != nil {
+			t.Errorf("exposition not parseable: %v\n%s", err, body)
+		}
+	})
+}
+
+// checkPrometheusText is a minimal exposition-format parser: every
+// non-comment line must be `name{labels}? value` with a numeric value,
+// and every sample must be preceded by a # TYPE for its metric family.
+func checkPrometheusText(body string) error {
+	typed := map[string]string{}
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			return fmt.Errorf("line %d: empty line inside exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return fmt.Errorf("line %d: no sample value: %q", ln+1, line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			return fmt.Errorf("line %d: bad value %q: %v", ln+1, line[sp+1:], err)
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				return fmt.Errorf("line %d: unterminated labels: %q", ln+1, line)
+			}
+			name = name[:i]
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count", "_total"} {
+			if f, ok := strings.CutSuffix(name, suffix); ok && typed[f] != "" {
+				family = f
+				break
+			}
+		}
+		if typed[family] == "" {
+			return fmt.Errorf("line %d: sample %q has no # TYPE", ln+1, name)
+		}
+	}
+	return nil
+}
+
+func TestSnapshotHandlerJSON(t *testing.T) {
+	withEnabled(t, func() {
+		GetCounter("faultsim.batches").Add(7)
+		StartSpan("opi").End()
+		Event("train.epoch", I("epoch", 2), F("loss", 0.25))
+
+		rec := httptest.NewRecorder()
+		SnapshotHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/snapshot", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d", rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("content type = %q", ct)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+			t.Fatalf("snapshot is not valid JSON: %v", err)
+		}
+		if snap.Counters["faultsim.batches"] != 7 {
+			t.Errorf("counters = %v", snap.Counters)
+		}
+		if len(snap.Spans) != 1 || snap.Spans[0].Name != "opi" {
+			t.Errorf("spans = %+v", snap.Spans)
+		}
+		if len(snap.Events) != 1 || snap.Events[0].Name != "train.epoch" {
+			t.Fatalf("events = %+v", snap.Events)
+		}
+		if snap.Events[0].Attrs["loss"] != 0.25 {
+			t.Errorf("event attrs = %v", snap.Events[0].Attrs)
+		}
+	})
+}
+
+func TestRegisterHTTPServesBothEndpoints(t *testing.T) {
+	withEnabled(t, func() {
+		GetCounter("spmm.calls").Add(3)
+		mux := http.NewServeMux()
+		RegisterHTTP(mux)
+		srv := httptest.NewServer(mux)
+		defer srv.Close()
+
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("read metrics: %v", err)
+		}
+		if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "repro_spmm_calls_total 3") {
+			t.Errorf("/metrics status=%d body:\n%s", resp.StatusCode, body)
+		}
+
+		resp, err = http.Get(srv.URL + "/snapshot")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap Snapshot
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode snapshot: %v", err)
+		}
+		if resp.StatusCode != http.StatusOK || snap.Counters["spmm.calls"] != 3 {
+			t.Errorf("/snapshot status=%d counters=%v", resp.StatusCode, snap.Counters)
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"os/exec"
 	"runtime"
 	"strings"
+	"sync"
 )
 
 // Manifest is the machine-readable record of one run: what was run
@@ -56,14 +57,25 @@ func NewManifest(name string, config any) *Manifest {
 	}
 }
 
+var (
+	gitDescribeOnce sync.Once
+	gitDescribeVal  string
+)
+
 // GitDescribe returns `git describe --always --dirty` for the current
 // working directory, or "" if git or the repository is unavailable.
+// The result is computed once per process: the revision cannot change
+// under a running binary, and shelling out to git on every manifest
+// write is measurable.
 func GitDescribe() string {
-	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
-	if err != nil {
-		return ""
-	}
-	return strings.TrimSpace(string(out))
+	gitDescribeOnce.Do(func() {
+		out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+		if err != nil {
+			return
+		}
+		gitDescribeVal = strings.TrimSpace(string(out))
+	})
+	return gitDescribeVal
 }
 
 // MarshalIndent renders the manifest as indented JSON with a trailing

@@ -72,7 +72,6 @@ func newRegistry() *registry {
 // and for tools that emit several manifests from one process.
 func Reset() {
 	reg.mu.Lock()
-	defer reg.mu.Unlock()
 	reg.root = &node{name: ""}
 	for _, c := range reg.counters {
 		c.v.Store(0)
@@ -83,6 +82,9 @@ func Reset() {
 	for _, h := range reg.hists {
 		h.reset()
 	}
+	reg.mu.Unlock()
+	events.reset()
+	tr.reset()
 }
 
 // Snapshot is a point-in-time copy of everything the registry holds, in
@@ -97,6 +99,11 @@ type Snapshot struct {
 	Gauges map[string]int64 `json:"gauges"`
 	// Histograms maps histogram name to its distribution summary.
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// Events is the buffered event timeline in chronological order
+	// (per-epoch training telemetry, stage transitions, ...).
+	Events []EventRecord `json:"events,omitempty"`
+	// EventsOverwritten counts older events the bounded ring discarded.
+	EventsOverwritten int64 `json:"events_overwritten,omitempty"`
 }
 
 // TakeSnapshot captures the current span tree and metric values.
@@ -126,5 +133,6 @@ func TakeSnapshot() Snapshot {
 			s.Histograms[name] = snap
 		}
 	}
+	s.Events, s.EventsOverwritten = events.snapshot()
 	return s
 }

@@ -115,6 +115,12 @@ type Span struct {
 	n          *node
 	start      time.Time
 	startAlloc uint64
+	// tid is the trace timeline the span renders on (0 = main; training
+	// workers get one each via ChildTID). path is the slash-joined span
+	// path used as the trace event name; both are only populated while
+	// tracing is on.
+	tid  int64
+	path string
 }
 
 // allocOff disables per-span runtime.ReadMemStats sampling when set
@@ -144,20 +150,45 @@ func StartSpan(name string) *Span {
 	if !enabled.Load() {
 		return nil
 	}
-	return &Span{n: reg.root.child(name), start: time.Now(), startAlloc: readAlloc()}
+	s := &Span{n: reg.root.child(name), start: time.Now(), startAlloc: readAlloc()}
+	if tracing.Load() {
+		s.path = name
+	}
+	return s
 }
 
 // Child opens a nested span under s. Safe to call from multiple
 // goroutines on the same parent. On a nil receiver it returns nil.
 func (s *Span) Child(name string) *Span {
+	return s.ChildTID(name, -1)
+}
+
+// ChildTID opens a nested span pinned to the given trace timeline
+// (tid). The span tree is unaffected — tids only route the span onto
+// its own row in the exported Chrome trace, one per training worker.
+// A negative tid inherits the parent's. On a nil receiver returns nil.
+func (s *Span) ChildTID(name string, tid int64) *Span {
 	if s == nil {
 		return nil
 	}
-	return &Span{n: s.n.child(name), start: time.Now(), startAlloc: readAlloc()}
+	c := &Span{n: s.n.child(name), start: time.Now(), startAlloc: readAlloc()}
+	if tid < 0 {
+		tid = s.tid
+	}
+	c.tid = tid
+	if tracing.Load() {
+		if s.path != "" {
+			c.path = s.path + "/" + name
+		} else {
+			c.path = name
+		}
+	}
+	return c
 }
 
 // End closes the span, merging its wall time and allocation delta into
-// the tree. No-op on a nil receiver. End must be called at most once.
+// the tree (and, when tracing, appending one timeline occurrence).
+// No-op on a nil receiver. End must be called at most once.
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -168,7 +199,11 @@ func (s *Span) End() {
 			alloc = int64(end - s.startAlloc)
 		}
 	}
-	s.n.record(time.Since(s.start), alloc)
+	dur := time.Since(s.start)
+	s.n.record(dur, alloc)
+	if s.path != "" && tracing.Load() {
+		recordSpanTrace(s.path, s.tid, s.start, dur)
+	}
 }
 
 // ctxKey keys the active span in a context.

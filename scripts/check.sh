@@ -7,8 +7,13 @@
 #   1. go vet over every package
 #   2. gofmt cleanliness (no files would be rewritten)
 #   3. race-detector tests for the concurrency-heavy packages
-#      (internal/obs metrics registry, internal/core parallel trainer)
+#      (internal/obs metrics registry, internal/core parallel trainer,
+#      internal/sparse parallel SpMM, internal/fault bit-parallel sim)
 #   4. the full test suite
+#   5. the bench-regression gate: cmd/benchcmp diffs the two most recent
+#      committed BENCH_NNNN.json artifacts and fails on a regression
+#      beyond tolerance (generous, because artifacts may come from
+#      different machines; see docs/OBSERVABILITY.md)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,11 +28,20 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go test -race ./internal/obs ./internal/core"
-go test -race ./internal/obs ./internal/core
+echo "== go test -race ./internal/obs ./internal/core ./internal/sparse ./internal/fault"
+go test -race ./internal/obs ./internal/core ./internal/sparse ./internal/fault
 
 echo "== go build ./... && go test ./..."
 go build ./...
 go test ./...
+
+echo "== benchcmp (recorded performance trajectory)"
+benches=$(ls BENCH_*.json 2>/dev/null | sort | tail -2)
+if [ "$(echo "$benches" | wc -w)" -ge 2 ]; then
+    # shellcheck disable=SC2086
+    go run ./cmd/benchcmp -tol 0.5 $benches
+else
+    echo "(fewer than two BENCH_*.json artifacts; skipping)"
+fi
 
 echo "check.sh: all gates passed"
