@@ -1,0 +1,104 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuitgen"
+	"repro/internal/features"
+	"repro/internal/scoap"
+	"repro/internal/tensor"
+)
+
+// TestConeFeaturesCloneDeterminism pins the contract the baseline
+// pipeline depends on: BFS-cone feature extraction is a pure function
+// of circuit structure. Fresh extractors over a netlist and over its
+// structural clone must produce bitwise-identical matrices — any map
+// iteration or shared mutable state sneaking into the cone walk would
+// break this (and silently scramble every classical baseline's input).
+func TestConeFeaturesCloneDeterminism(t *testing.T) {
+	n := circuitgen.Generate("cone", circuitgen.Config{Seed: 19, NumGates: 500, DFFFrac: 0.2})
+	clone := n.Clone()
+
+	nodes := make([]int32, 0, 40)
+	for id := int32(3); id < int32(n.NumGates()); id += 13 {
+		nodes = append(nodes, id)
+	}
+
+	ea := features.NewExtractor(n, scoap.Compute(n))
+	eb := features.NewExtractor(clone, scoap.Compute(clone))
+	ea.ConeSize = 40
+	eb.ConeSize = 40
+	a := ea.Matrix(nodes)
+	b := eb.Matrix(nodes)
+	if a.Rows != len(nodes) || a.Cols != features.Dim(40) {
+		t.Fatalf("matrix shape %dx%d", a.Rows, a.Cols)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("feature %d differs between netlist and clone: %v != %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+// TestBaselinesLearnFromConeFeatures runs the real end-to-end baseline
+// path — netlist, SCOAP attributes, cone features, classifier — and
+// requires every model family to beat chance at telling hard-to-observe
+// nodes from easy ones, the paper's Table 2 task in miniature.
+func TestBaselinesLearnFromConeFeatures(t *testing.T) {
+	n := circuitgen.Generate("bl", circuitgen.Config{Seed: 5, NumGates: 900, DFFFrac: 0.15})
+	m := scoap.Compute(n)
+	e := features.NewExtractor(n, m)
+	e.ConeSize = 30
+
+	// Label by SCOAP observability median: crude, but perfectly
+	// derivable from the features, so a working learner must beat 0.5.
+	var nodes []int32
+	for id := int32(0); id < int32(n.NumGates()); id += 2 {
+		nodes = append(nodes, id)
+	}
+	co := make([]int, len(nodes))
+	for i, id := range nodes {
+		c := int(m.CO[id])
+		if c > 1000 {
+			c = 1000
+		}
+		co[i] = c
+	}
+	sortedCO := append([]int(nil), co...)
+	for i := range sortedCO { // insertion sort: tiny slice, no extra imports
+		for j := i; j > 0 && sortedCO[j] < sortedCO[j-1]; j-- {
+			sortedCO[j], sortedCO[j-1] = sortedCO[j-1], sortedCO[j]
+		}
+	}
+	median := sortedCO[len(sortedCO)/2]
+	labels := make([]int, len(nodes))
+	for i, c := range co {
+		if c > median {
+			labels[i] = 1
+		}
+	}
+
+	x := e.Matrix(nodes)
+	rng := rand.New(rand.NewSource(3))
+	perm := rng.Perm(len(nodes))
+	split := len(nodes) * 3 / 4
+	gather := func(idx []int) (*tensor.Dense, []int) {
+		xs := tensor.NewDense(len(idx), x.Cols)
+		ys := make([]int, len(idx))
+		for i, p := range idx {
+			copy(xs.Row(i), x.Row(p))
+			ys[i] = labels[p]
+		}
+		return xs, ys
+	}
+	xTrain, yTrain := gather(perm[:split])
+	xTest, yTest := gather(perm[split:])
+
+	for _, model := range allModels(11) {
+		model.Fit(xTrain, yTrain)
+		if acc := accuracy(model.Predict(xTest), yTest); acc < 0.6 {
+			t.Errorf("%s: cone-feature accuracy %.3f — not better than chance", model.Name(), acc)
+		}
+	}
+}

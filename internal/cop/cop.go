@@ -91,6 +91,16 @@ func Compute(n *netlist.Netlist) *Measures {
 			absorb(g.Fanin[0], 1)
 			continue
 		case netlist.DFF:
+			// The flop's data input is captured by the scan chain; the
+			// flop's *output* is a pseudo primary input whose
+			// observability comes from its own loads, already
+			// accumulated in notObs (reverse topological order).
+			// Skipping this assignment left every DFF output at
+			// Obs = 0, disagreeing with SCOAP, critical path tracing
+			// and exhaustive simulation on scan-boundary circuits; the
+			// differential harness (internal/refcheck) pins the
+			// agreement now.
+			m.Obs[id] = 1 - notObs[id]
 			absorb(g.Fanin[0], 1)
 			continue
 		case netlist.Input:

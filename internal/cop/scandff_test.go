@@ -1,0 +1,46 @@
+package cop
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// TestDFFOutputObservability is the minimized regression for the
+// scan-boundary bug the differential harness (internal/refcheck)
+// surfaced: the backward pass handled the flop's data input but never
+// assigned the flop's own output observability, so every DFF output
+// reported Obs = 0 even when it drove a primary output directly.
+func TestDFFOutputObservability(t *testing.T) {
+	n := netlist.New("scan-dff")
+	a := n.MustAddGate(netlist.Input, "a")
+	d := n.MustAddGate(netlist.DFF, "d", a)
+	b := n.MustAddGate(netlist.Buf, "b", d)
+	n.MustAddGate(netlist.Output, "z", b)
+
+	m := Compute(n)
+	if m.Obs[d] != 1 {
+		t.Fatalf("DFF output obs = %v, want 1 (directly drives the output through a buffer)", m.Obs[d])
+	}
+	// The flop's data input is observed via scan capture regardless of
+	// downstream logic.
+	if m.Obs[a] != 1 {
+		t.Fatalf("flop data-input obs = %v, want 1 (scan capture)", m.Obs[a])
+	}
+
+	// Partially observed variant: the flop output also feeds an AND
+	// whose other leg gates propagation, so its obs must be strictly
+	// between 0 and 1 — not the constant 0 the bug produced, and not a
+	// sink-like 1 either.
+	n2 := netlist.New("scan-dff-and")
+	x := n2.MustAddGate(netlist.Input, "x")
+	g := n2.MustAddGate(netlist.Input, "g")
+	q := n2.MustAddGate(netlist.DFF, "q", x)
+	y := n2.MustAddGate(netlist.And, "y", q, g)
+	n2.MustAddGate(netlist.Output, "z", y)
+
+	m2 := Compute(n2)
+	if got := m2.Obs[q]; got != 0.5 {
+		t.Fatalf("gated DFF output obs = %v, want 0.5 (AND side input is 1 half the time)", got)
+	}
+}

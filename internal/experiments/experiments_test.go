@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -159,5 +160,76 @@ func TestStageAblationShape(t *testing.T) {
 	res.Fprint(&buf)
 	if !strings.Contains(buf.String(), "stages") {
 		t.Error("printout missing header")
+	}
+}
+
+// printer is the common surface of every result type: all seven runners
+// must produce a non-empty, schema-stable printable report.
+type printer interface{ Fprint(w io.Writer) }
+
+// tinyCfg is even smaller than Quick: just enough signal for structure
+// and schema checks, so the table-driven sweep over every runner stays
+// cheap next to the per-runner shape tests above.
+func tinyCfg() Config {
+	return Config{Quick: true, Size: 600, Patterns: 256, Epochs: 6, Seed: 7}
+}
+
+// TestAllRunnersSchema drives every experiment entry point through one
+// tiny dataset and pins the output schema: each report is non-empty,
+// multi-line, and carries its table/figure's header tokens. A renamed
+// column or dropped row in any Fprint breaks this test, not a PDF diff.
+func TestAllRunnersSchema(t *testing.T) {
+	cfg := tinyCfg()
+	cases := []struct {
+		name   string
+		run    func() printer
+		tokens []string
+	}{
+		{"Table1", func() printer { return Table1(cfg) }, []string{"Design", "#Nodes", "#Edges", "#POS", "#NEG", "B1"}},
+		{"Table2", func() printer { return Table2(cfg) }, []string{"Design", "GCN", "Average"}},
+		{"Table3", func() printer { return Table3(cfg) }, []string{"Design", "ratios", "coverage"}},
+		{"Fig8", func() printer { return Fig8(cfg) }, []string{"D=1", "D=2", "D=3", "epoch", "train_acc", "test_acc"}},
+		{"Fig9", func() printer { return Fig9(cfg) }, []string{"Design", "GCN-S", "GCN-M"}},
+		{"Fig10", func() printer { return Fig10(cfg) }, []string{"#nodes", "recursion (s)", "matrix (s)", "speedup"}},
+		{"StageAblation", func() printer { return StageAblation(cfg, 2) }, []string{"stages", "F1"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			tc.run().Fprint(&buf)
+			out := buf.String()
+			if strings.TrimSpace(out) == "" {
+				t.Fatal("empty report")
+			}
+			if lines := strings.Count(out, "\n"); lines < 2 {
+				t.Fatalf("report has only %d lines:\n%s", lines, out)
+			}
+			for _, tok := range tc.tokens {
+				if !strings.Contains(out, tok) {
+					t.Errorf("report missing %q:\n%s", tok, out)
+				}
+			}
+		})
+	}
+}
+
+// TestRunnersDeterministic: the data-bearing runners must be pure
+// functions of their Config — two runs, byte-identical reports. Fig10
+// is excluded (it reports wall-clock timings).
+func TestRunnersDeterministic(t *testing.T) {
+	cfg := tinyCfg()
+	runs := map[string]func() printer{
+		"Table1": func() printer { return Table1(cfg) },
+		"Fig9":   func() printer { return Fig9(cfg) },
+	}
+	for name, run := range runs {
+		t.Run(name, func(t *testing.T) {
+			var a, b bytes.Buffer
+			run().Fprint(&a)
+			run().Fprint(&b)
+			if a.String() != b.String() {
+				t.Fatalf("two runs differ:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+			}
+		})
 	}
 }

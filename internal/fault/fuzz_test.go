@@ -1,0 +1,68 @@
+package fault_test
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/refcheck"
+)
+
+// fuzzNetlist deterministically decodes bytes into a small scan-model
+// DAG: a few primary inputs, then one gate per 3-byte chunk whose type
+// and fanin choices come from the bytes, capped at 48 cells, with a
+// primary output on the last net and an observation point mid-circuit.
+func fuzzNetlist(data []byte) *netlist.Netlist {
+	types := []netlist.GateType{
+		netlist.Buf, netlist.Not, netlist.DFF,
+		netlist.And, netlist.Nand, netlist.Or,
+		netlist.Nor, netlist.Xor, netlist.Xnor,
+	}
+	n := netlist.New("fuzz")
+	var ids []int32
+	for i := 0; i < 2+int(data[0]%4); i++ {
+		ids = append(ids, n.MustAddGate(netlist.Input, ""))
+	}
+	for i := 1; i+2 < len(data) && len(ids) < 48; i += 3 {
+		t := types[int(data[i])%len(types)]
+		a := ids[int(data[i+1])%len(ids)]
+		b := ids[int(data[i+2])%len(ids)]
+		switch t {
+		case netlist.Buf, netlist.Not, netlist.DFF:
+			ids = append(ids, n.MustAddGate(t, "", a))
+		default:
+			ids = append(ids, n.MustAddGate(t, "", a, b))
+		}
+	}
+	n.MustAddGate(netlist.Output, "", ids[len(ids)-1])
+	n.MustAddGate(netlist.Obs, "op", ids[len(ids)/2])
+	return n
+}
+
+// FuzzBatchSim decodes bytes into a circuit and cross-checks the 64-way
+// bit-parallel simulator against 64 independent serial single-pattern
+// simulations and the exact fault-detection criterion, via the
+// differential driver in internal/refcheck. Any lane of any value word,
+// any faulty re-simulation, or any detect mask that disagrees with the
+// serial reference fails the target. Seed corpus lives in
+// testdata/fuzz/FuzzBatchSim.
+func FuzzBatchSim(f *testing.F) {
+	f.Add([]byte{0, 3, 0, 1, 7, 1, 2, 2, 4, 0, 8, 3, 5})
+	f.Add([]byte{2, 2, 0, 0, 2, 1, 1, 5, 2, 3})
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := fuzzNetlist(data)
+		if err := n.Validate(); err != nil {
+			t.Fatalf("decoder produced invalid netlist: %v", err)
+		}
+		seed := int64(7)
+		for _, b := range data {
+			seed = seed*257 + int64(b)
+		}
+		if err := refcheck.CheckFaultSim(n, seed, 6); err != nil {
+			t.Fatalf("gates=%d: %v", n.NumGates(), err)
+		}
+	})
+}

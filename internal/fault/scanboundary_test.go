@@ -1,0 +1,127 @@
+package fault_test
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/netlist"
+	"repro/internal/refcheck"
+)
+
+// This file pins the minimized netlists the differential harness
+// (internal/refcheck) surfaced while cross-checking the bit-parallel
+// critical-path-tracing observability against exact fault detection.
+// On fanout-free logic the two agree bit for bit; at reconvergent
+// fanout stems CPT's OR-merge is a documented approximation that can
+// err in BOTH directions. These circuits are the smallest witnesses of
+// each behavior, kept as regressions so any change to the backward
+// observability pass that shifts the approximation is caught.
+
+// cptMask computes the CPT detection estimate for a stuck-at fault from
+// one good-circuit batch: excitation lanes AND observability lanes.
+func cptMask(sim *fault.Simulator, node int32, stuckAt1 bool) uint64 {
+	excite := sim.Values()[node] // stuck-at-1 is visible where the lane holds 0
+	if !stuckAt1 {
+		excite = ^excite
+	}
+	return ^excite & sim.Obs()[node]
+}
+
+// runBoth simulates one seeded batch and returns (cpt, exact) detect
+// masks for the given fault.
+func runBoth(t *testing.T, n *netlist.Netlist, node int32, stuckAt1 bool) (uint64, uint64) {
+	t.Helper()
+	const seed = 99
+	words := refcheck.BatchSourceWords(n, seed, 0)
+	sim := fault.NewSimulator(n)
+	sim.BatchFrom(func(id int32) uint64 { return words[id] })
+	exact := fault.ExactDetectMask(n, seed, 0, node, stuckAt1)
+	if serial := refcheck.SerialDetectMask(n, words, node, stuckAt1); serial != exact {
+		t.Fatalf("exact engines disagree: ExactDetectMask %016x serial %016x", exact, serial)
+	}
+	return cptMask(sim, node, stuckAt1), exact
+}
+
+// TestCPTOptimisticAtXorReconvergence: s fans out to both XOR inputs,
+// so the fault on s cancels itself (x = s^s = 0 always, fault-free and
+// faulty alike). Exact detection is zero; CPT traces each XOR branch
+// independently and claims full observability.
+func TestCPTOptimisticAtXorReconvergence(t *testing.T) {
+	n := netlist.New("xor-stem")
+	a := n.MustAddGate(netlist.Input, "a")
+	s := n.MustAddGate(netlist.Buf, "s", a)
+	x := n.MustAddGate(netlist.Xor, "x", s, s)
+	n.MustAddGate(netlist.Output, "z", x)
+
+	for _, sa1 := range []bool{false, true} {
+		cpt, exact := runBoth(t, n, s, sa1)
+		if exact != 0 {
+			t.Fatalf("sa%v: self-masking fault detected exactly: %016x", sa1, exact)
+		}
+		if cpt == 0 {
+			t.Fatalf("sa%v: CPT no longer optimistic here — approximation changed, update the docs", sa1)
+		}
+	}
+}
+
+// TestCPTPessimisticAtAndReconvergence: s drives both AND inputs, so
+// y = s and a stuck-at-1 on s IS visible wherever s = 0. CPT's
+// backward pass multiplies in the side-input non-controlling condition
+// (the same s), wrongly concluding the 0-lanes are unobservable.
+func TestCPTPessimisticAtAndReconvergence(t *testing.T) {
+	n := netlist.New("and-stem")
+	a := n.MustAddGate(netlist.Input, "a")
+	s := n.MustAddGate(netlist.Buf, "s", a)
+	y := n.MustAddGate(netlist.And, "y", s, s)
+	n.MustAddGate(netlist.Output, "z", y)
+
+	cpt, exact := runBoth(t, n, s, true)
+	if exact == 0 {
+		t.Fatal("sa1 on s should be exactly detectable on the s=0 lanes")
+	}
+	if missed := exact &^ cpt; missed == 0 {
+		t.Fatal("CPT no longer pessimistic here — approximation changed, update the docs")
+	}
+	if bogus := cpt &^ exact; bogus != 0 {
+		t.Fatalf("CPT claims lanes exact denies: %016x", bogus)
+	}
+}
+
+// TestScanStemExactAgreement: the DFF-boundary variant of the stem
+// cases — a scan flop output fanning out into reconvergent XOR. The
+// two exact engines (ExactDetectMask and the serial reference) must
+// agree on every fault site of this circuit, both polarities; CPT's
+// deviation stays confined to the stem cell d.
+func TestScanStemExactAgreement(t *testing.T) {
+	n := netlist.New("scan-stem")
+	a := n.MustAddGate(netlist.Input, "a")
+	d := n.MustAddGate(netlist.DFF, "d", a)
+	x := n.MustAddGate(netlist.Xor, "x", d, d)
+	o := n.MustAddGate(netlist.Or, "o", x, a)
+	n.MustAddGate(netlist.Output, "z", o)
+
+	for node := int32(0); node < int32(n.NumGates()); node++ {
+		if n.Type(node) == netlist.Output {
+			continue
+		}
+		for _, sa1 := range []bool{false, true} {
+			cpt, exact := runBoth(t, n, node, sa1) // runBoth fails on any exact-engine split
+			if node != d && node != x && cpt != exact {
+				// Off the reconvergent stem the circuit is tree-like:
+				// CPT must remain exact there.
+				t.Errorf("node %d (%s) sa%v: CPT %016x exact %016x", node, n.Type(node), sa1, cpt, exact)
+			}
+		}
+	}
+
+	// The stem fault itself self-masks through XOR; OR(0, a) still
+	// passes a, so exact detection of d is empty while CPT is not.
+	cpt, exact := runBoth(t, n, d, true)
+	if exact != 0 {
+		t.Fatalf("scan stem fault detected exactly: %016x", exact)
+	}
+	if bits.OnesCount64(cpt) == 0 {
+		t.Fatal("CPT no longer optimistic at the scan stem — approximation changed, update the docs")
+	}
+}

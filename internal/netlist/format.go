@@ -63,8 +63,15 @@ func benchNames(n *Netlist) []string {
 	seen := make(map[string]bool, n.NumGates())
 	for i := range names {
 		nm := n.gates[i].Name
-		if nm == "" || seen[nm] {
+		if nm == "" {
 			nm = fmt.Sprintf("n%d", i)
+		}
+		// The fallback (or a duplicate user name) may itself collide
+		// with a literal name already emitted — e.g. a cell named "n5"
+		// alongside an unnamed cell with ID 5 — which would serialize
+		// two declarations of the same net.
+		for seen[nm] {
+			nm += "_"
 		}
 		seen[nm] = true
 		names[i] = nm

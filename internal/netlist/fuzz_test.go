@@ -1,0 +1,52 @@
+package netlist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzNetlistParse feeds arbitrary text through the .bench reader and,
+// whenever a netlist comes out, demands the full contract: the result
+// validates, serializes, re-parses, and reaches a serialization fixed
+// point (write∘read is idempotent after one normalization pass). Seed
+// corpus lives in testdata/fuzz/FuzzNetlistParse.
+func FuzzNetlistParse(f *testing.F) {
+	f.Add("INPUT(a)\nb = NOT(a)\nOUTPUT(b)\n")
+	f.Add("# c17 tiny\nINPUT(a)\nINPUT(b)\ng = NAND(a, b)\nq = DFF(g)\nz = XOR(q, a)\nOUTPUT(z)\nOBS(g)\n")
+	f.Add("INPUT(n1)\nn0 = BUF(n1)\nOUTPUT(n0)\n")
+	f.Add("a = AND(b, c)\n")                     // undeclared nets: must error, not panic
+	f.Add("x = BUF(y)\ny = NOT(x)\nOUTPUT(x)\n") // cycle: must error
+	f.Fuzz(func(t *testing.T, text string) {
+		n, err := Read(bytes.NewReader([]byte(text)))
+		if err != nil {
+			return // rejecting malformed input is fine; crashing is not
+		}
+		if verr := n.Validate(); verr != nil {
+			t.Fatalf("Read accepted an invalid netlist: %v", verr)
+		}
+		var w1 bytes.Buffer
+		if err := Write(&w1, n); err != nil {
+			t.Fatalf("Write failed on parsed netlist: %v", err)
+		}
+		n2, err := Read(bytes.NewReader(w1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of own output failed: %v\noutput:\n%s", err, w1.String())
+		}
+		if n2.NumGates() != n.NumGates() || n2.NumEdges() != n.NumEdges() {
+			t.Fatalf("round trip changed shape: %d gates/%d edges -> %d gates/%d edges",
+				n.NumGates(), n.NumEdges(), n2.NumGates(), n2.NumEdges())
+		}
+		for _, typ := range []GateType{Input, Output, Obs, DFF, And, Nand, Or, Nor, Xor, Xnor, Buf, Not} {
+			if n.CountType(typ) != n2.CountType(typ) {
+				t.Fatalf("round trip changed %s count: %d -> %d", typ, n.CountType(typ), n2.CountType(typ))
+			}
+		}
+		var w2 bytes.Buffer
+		if err := Write(&w2, n2); err != nil {
+			t.Fatalf("second Write failed: %v", err)
+		}
+		if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+			t.Fatalf("serialization not a fixed point:\nfirst:\n%s\nsecond:\n%s", w1.String(), w2.String())
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package refcheck
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/circuitgen"
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/scoap"
+)
+
+// gradGraph builds a small labeled graph with a few masked nodes, so
+// the gradient check exercises the loss-masking path too.
+func gradGraph(seed int64, gates int) *core.Graph {
+	n := circuitgen.Generate("g", circuitgen.Config{Seed: seed, NumGates: gates, NumPIs: 8})
+	g := core.FromNetlist(n, scoap.Compute(n))
+	vals := make([]float64, g.N)
+	for id := 0; id < g.N; id++ {
+		vals[id] = g.X.At(id, 3)
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	threshold := sorted[int(0.9*float64(len(sorted)-1))]
+	for id := 0; id < g.N; id++ {
+		switch {
+		case id%13 == 0:
+			g.Labels[id] = -1 // masked out of the loss
+		case vals[id] >= threshold:
+			g.Labels[id] = 1
+		default:
+			g.Labels[id] = 0
+		}
+	}
+	return g
+}
+
+// TestGradCheckAllLayers is the acceptance gate for backpropagation:
+// every parameter tensor of the full-depth model — scalar aggregation
+// weights, each encoder, each classifier layer — must match central
+// finite differences within 1e-4 relative error.
+func TestGradCheckAllLayers(t *testing.T) {
+	g := gradGraph(3, 60)
+	m := core.MustNewModel(core.Config{
+		Dims: []int{6, 8, 8}, FCDims: []int{8, 6}, NumClasses: 2, Seed: 9,
+	})
+	reports := GradCheck(m, g, g.Labels, []float64{1, 3}, GradCheckOptions{Seed: 17})
+	if len(reports) != len(m.Params()) {
+		t.Fatalf("got %d reports for %d params", len(reports), len(m.Params()))
+	}
+	for _, r := range reports {
+		if r.Checked == 0 {
+			t.Errorf("%s: no entries checked", r.Name)
+		}
+		if r.MaxRel > 1e-4 {
+			t.Errorf("%s: max relative gradient error %.3g > 1e-4", r.Name, r.MaxRel)
+		}
+		t.Logf("%-14s checked=%2d maxRel=%.3g", r.Name, r.Checked, r.MaxRel)
+	}
+}
+
+// TestGradCheckDepthSweep repeats the check at every search depth the
+// experiments sweep uses, with uniform class weights.
+func TestGradCheckDepthSweep(t *testing.T) {
+	for depth := 1; depth <= 3; depth++ {
+		g := gradGraph(int64(20+depth), 50)
+		dims := []int{5, 7, 9}[:depth]
+		m := core.MustNewModel(core.Config{Dims: dims, FCDims: []int{6}, NumClasses: 2, Seed: int64(depth)})
+		for _, r := range GradCheck(m, g, g.Labels, nil, GradCheckOptions{Seed: int64(depth), SamplePerParam: 12}) {
+			if r.MaxRel > 1e-4 {
+				t.Errorf("depth %d, %s: max relative gradient error %.3g > 1e-4", depth, r.Name, r.MaxRel)
+			}
+		}
+	}
+}
+
+// TestGradCheckRestoresModel: the sweep must leave parameters bitwise
+// intact and gradients zeroed.
+func TestGradCheckRestoresModel(t *testing.T) {
+	g := gradGraph(5, 40)
+	m := core.MustNewModel(core.Config{Dims: []int{5}, FCDims: []int{5}, NumClasses: 2, Seed: 4})
+	before := make([][]float64, 0)
+	for _, p := range m.Params() {
+		before = append(before, append([]float64(nil), p.Data...))
+	}
+	GradCheck(m, g, g.Labels, nil, GradCheckOptions{Seed: 2, SamplePerParam: 4})
+	for i, p := range m.Params() {
+		for j := range p.Data {
+			if p.Data[j] != before[i][j] {
+				t.Fatalf("%s[%d] perturbed: %v != %v", p.Name, j, p.Data[j], before[i][j])
+			}
+		}
+		for j, gv := range p.Grad {
+			if gv != 0 {
+				t.Fatalf("%s.Grad[%d] = %v, want 0", p.Name, j, gv)
+			}
+		}
+	}
+}
+
+// TestGradCheckAblatedDirectionsStayFrozen: the ablation contract is
+// that the frozen scalar's analytic gradient is exactly zero, so the
+// optimizer never moves it (the loss itself is NOT flat in that
+// direction, which is why the numeric check does not apply to it).
+func TestGradCheckAblatedDirectionsStayFrozen(t *testing.T) {
+	g := gradGraph(6, 40)
+	m := core.MustNewModel(core.Config{
+		Dims: []int{5}, FCDims: []int{5}, NumClasses: 2, Seed: 4, NoPredecessors: true,
+	})
+	nn.ZeroGrads(m.Params())
+	m.LossAndGrad(g, g.Labels, nil)
+	if m.Wpr.Grad[0] != 0 {
+		t.Fatalf("ablated Wpr gradient = %v, want 0", m.Wpr.Grad[0])
+	}
+	if m.Wsu.Grad[0] == 0 {
+		t.Fatal("live Wsu gradient is exactly zero — suspicious")
+	}
+}

@@ -1,0 +1,79 @@
+package refcheck
+
+import (
+	"math"
+
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+// This file is the dense reference for the sparse matrix machinery:
+// COO/CSR matrices are materialized into dense form and multiplied with
+// textbook triple loops, so any disagreement in the fast kernels —
+// scatter order, duplicate merging, row partitioning, transpose
+// bookkeeping — shows up as a numeric difference.
+
+// DenseOfCOO materializes a COO matrix, summing duplicate tuples.
+func DenseOfCOO(m *sparse.COO) *tensor.Dense {
+	d := tensor.NewDense(m.NumRows, m.NumCols)
+	for i, v := range m.Vals {
+		r, c := int(m.Rows[i]), int(m.Cols[i])
+		d.Set(r, c, d.At(r, c)+v)
+	}
+	return d
+}
+
+// MatMulRef computes a·b with the naive i-j-k triple loop.
+func MatMulRef(a, b *tensor.Dense) *tensor.Dense {
+	if a.Cols != b.Rows {
+		panic("refcheck: MatMulRef shape mismatch")
+	}
+	dst := tensor.NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			dst.Set(i, j, s)
+		}
+	}
+	return dst
+}
+
+// TransposeRef returns aᵀ as a new dense matrix.
+func TransposeRef(a *tensor.Dense) *tensor.Dense {
+	dst := tensor.NewDense(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			dst.Set(j, i, a.At(i, j))
+		}
+	}
+	return dst
+}
+
+// MaxRelDiff returns the largest elementwise relative difference
+// |a-b| / max(1, |a|, |b|) between two equally shaped matrices. The
+// denominator floor of 1 makes the measure behave like absolute error
+// near zero and relative error for large magnitudes, which is the right
+// yardstick for comparing summation orders in float64.
+func MaxRelDiff(a, b *tensor.Dense) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("refcheck: MaxRelDiff shape mismatch")
+	}
+	var worst float64
+	for i, av := range a.Data {
+		bv := b.Data[i]
+		den := 1.0
+		if m := math.Abs(av); m > den {
+			den = m
+		}
+		if m := math.Abs(bv); m > den {
+			den = m
+		}
+		if d := math.Abs(av-bv) / den; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

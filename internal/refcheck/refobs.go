@@ -1,0 +1,126 @@
+package refcheck
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/fault"
+	"repro/internal/netlist"
+)
+
+// This file measures exact observability by brute force: every input
+// assignment of a small circuit is enumerated, and a cell counts as
+// observed under an assignment when flipping its value changes some
+// observation sink. This is the ground truth behind both the empirical
+// critical-path-tracing counts (package fault) and the analytic
+// SCOAP/COP heuristics, and the tests in this package assert the
+// structural invariants that must always relate them.
+
+// MaxExhaustiveSources bounds the brute-force enumeration; 2^16
+// assignments over a few dozen gates is the practical ceiling for a
+// unit-test budget.
+const MaxExhaustiveSources = 16
+
+// Sources returns the controllable sources (primary inputs and scan
+// flip-flop outputs) of the netlist in topological order — the bit
+// order used by exhaustive enumeration.
+func Sources(n *netlist.Netlist) []int32 {
+	var out []int32
+	for _, id := range n.TopoOrder() {
+		if n.Type(id).IsControllableSource() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ExactObsCounts enumerates every assignment of the circuit's
+// controllable sources and returns, per cell, in how many assignments
+// the cell's output value is observable (flipping it changes at least
+// one sink response), together with the total number of assignments.
+// Sink cells themselves (Output/Obs) are reported as 0: their "output"
+// is never re-read by any response, so flipping it is meaningless.
+func ExactObsCounts(n *netlist.Netlist) (counts []int, total int, err error) {
+	srcs := Sources(n)
+	if len(srcs) > MaxExhaustiveSources {
+		return nil, 0, fmt.Errorf("refcheck: %d controllable sources exceeds exhaustive limit %d", len(srcs), MaxExhaustiveSources)
+	}
+	total = 1 << len(srcs)
+	counts = make([]int, n.NumGates())
+	assign := make(map[int32]bool, len(srcs))
+	for p := 0; p < total; p++ {
+		for i, s := range srcs {
+			assign[s] = p>>i&1 == 1
+		}
+		src := func(id int32) bool { return assign[id] }
+		vals := EvalPattern(n, src)
+		good := SinkValues(n, vals)
+		for id := int32(0); id < int32(n.NumGates()); id++ {
+			t := n.Type(id)
+			if t == netlist.Output || t == netlist.Obs {
+				continue
+			}
+			bad := SinkValues(n, EvalPatternWithFault(n, src, id, !vals[id]))
+			for i := range good {
+				if good[i] != bad[i] {
+					counts[id]++
+					break
+				}
+			}
+		}
+	}
+	return counts, total, nil
+}
+
+// CPTObsCounts measures the same per-cell observability counts with the
+// production bit-parallel simulator's critical-path-tracing criterion,
+// enumerating the identical exhaustive assignment space (packed 64
+// lanes per batch). On fanout-free circuits it must equal
+// ExactObsCounts; under reconvergent fanout the OR-merge at fanout
+// stems makes it an approximation.
+func CPTObsCounts(n *netlist.Netlist) (counts []int, total int, err error) {
+	srcs := Sources(n)
+	if len(srcs) > MaxExhaustiveSources {
+		return nil, 0, fmt.Errorf("refcheck: %d controllable sources exceeds exhaustive limit %d", len(srcs), MaxExhaustiveSources)
+	}
+	total = 1 << len(srcs)
+	counts = make([]int, n.NumGates())
+	sim := fault.NewSimulator(n)
+	words := make(map[int32]uint64, len(srcs))
+	for base := 0; base < total; base += 64 {
+		lanes := total - base
+		if lanes > 64 {
+			lanes = 64
+		}
+		for i, s := range srcs {
+			var w uint64
+			for l := 0; l < lanes; l++ {
+				if (base+l)>>i&1 == 1 {
+					w |= 1 << uint(l)
+				}
+			}
+			words[s] = w
+		}
+		sim.BatchFrom(func(id int32) uint64 { return words[id] })
+		valid := ^uint64(0)
+		if lanes < 64 {
+			valid = 1<<uint(lanes) - 1
+		}
+		for id, o := range sim.Obs() {
+			counts[id] += bits.OnesCount64(o & valid)
+		}
+	}
+	return counts, total, nil
+}
+
+// IsFanoutFree reports whether every non-sink cell drives at most one
+// load — the tree-structured class of circuits on which critical path
+// tracing and COP are both provably exact.
+func IsFanoutFree(n *netlist.Netlist) bool {
+	for id := int32(0); id < int32(n.NumGates()); id++ {
+		if len(n.Fanout(id)) > 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,179 @@
+package refcheck
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// This file is the serial single-pattern reference for the bit-parallel
+// fault simulator: one bool per net, one pattern at a time, faults
+// injected by forced re-simulation. Batches are reconstructed lane by
+// lane so every word the fast engine produces can be checked bit for
+// bit.
+
+// EvalPattern simulates one input assignment and returns the value of
+// every cell output. Controllable sources (primary inputs and scan
+// flip-flop outputs) read from src; everything else is evaluated
+// naively from its fanin.
+func EvalPattern(n *netlist.Netlist, src func(id int32) bool) []bool {
+	return evalForced(n, src, -1, false)
+}
+
+// EvalPatternWithFault is EvalPattern with a stuck-at fault forced at
+// the output of node: the node is evaluated normally and then
+// overwritten, so only downstream logic sees the faulty value — the
+// same injection semantics as Simulator.BatchWithFault.
+func EvalPatternWithFault(n *netlist.Netlist, src func(id int32) bool, node int32, stuckAt1 bool) []bool {
+	return evalForced(n, src, node, stuckAt1)
+}
+
+func evalForced(n *netlist.Netlist, src func(id int32) bool, node int32, stuckAt1 bool) []bool {
+	vals := make([]bool, n.NumGates())
+	for _, id := range n.TopoOrder() {
+		g := n.Gate(id)
+		switch g.Type {
+		case netlist.Input, netlist.DFF:
+			vals[id] = src(id)
+		case netlist.Output, netlist.Obs, netlist.Buf:
+			vals[id] = vals[g.Fanin[0]]
+		case netlist.Not:
+			vals[id] = !vals[g.Fanin[0]]
+		case netlist.And, netlist.Nand:
+			v := true
+			for _, f := range g.Fanin {
+				v = v && vals[f]
+			}
+			if g.Type == netlist.Nand {
+				v = !v
+			}
+			vals[id] = v
+		case netlist.Or, netlist.Nor:
+			v := false
+			for _, f := range g.Fanin {
+				v = v || vals[f]
+			}
+			if g.Type == netlist.Nor {
+				v = !v
+			}
+			vals[id] = v
+		case netlist.Xor, netlist.Xnor:
+			v := false
+			for _, f := range g.Fanin {
+				v = v != vals[f]
+			}
+			if g.Type == netlist.Xnor {
+				v = !v
+			}
+			vals[id] = v
+		default:
+			panic(fmt.Sprintf("refcheck: unhandled gate type %v", g.Type))
+		}
+		if id == node {
+			vals[id] = stuckAt1
+		}
+	}
+	return vals
+}
+
+// SinkValues returns the value seen at every observation sink (the
+// sink's fanin net), in sink ID order — the serial counterpart of
+// Simulator.SinkResponses.
+func SinkValues(n *netlist.Netlist, vals []bool) []bool {
+	var out []bool
+	for id := int32(0); id < int32(n.NumGates()); id++ {
+		if n.Type(id).IsObservationSink() {
+			out = append(out, vals[n.Fanin(id)[0]])
+		}
+	}
+	return out
+}
+
+// BatchSourceWords reproduces the per-source 64-pattern words that
+// fault.Simulator.Batch draws for the given (seed, batch) pair: a fresh
+// rand.Rand draws one word per controllable source in topological
+// order, one batch after another. This mirrors the (documented)
+// replay convention of fault.ExactDetectMask, so serial, batch and
+// exact engines can all be driven by identical patterns.
+func BatchSourceWords(n *netlist.Netlist, seed int64, batch int) map[int32]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	var out map[int32]uint64
+	for b := 0; b <= batch; b++ {
+		out = make(map[int32]uint64)
+		for _, id := range n.TopoOrder() {
+			if n.Type(id).IsControllableSource() {
+				out[id] = rng.Uint64()
+			}
+		}
+	}
+	return out
+}
+
+// LaneSource adapts one bit lane of a word assignment into a serial
+// boolean source function.
+func LaneSource(words map[int32]uint64, lane uint) func(id int32) bool {
+	return func(id int32) bool { return words[id]>>lane&1 == 1 }
+}
+
+// SerialValueWords simulates all 64 lanes of a batch one pattern at a
+// time and packs the results into value words, directly comparable to
+// Simulator.Values after BatchFrom on the same words.
+func SerialValueWords(n *netlist.Netlist, words map[int32]uint64) []uint64 {
+	return serialWords(n, words, -1, false)
+}
+
+// SerialFaultValueWords is SerialValueWords with a stuck-at fault
+// forced at node, comparable to Simulator.BatchWithFault.
+func SerialFaultValueWords(n *netlist.Netlist, words map[int32]uint64, node int32, stuckAt1 bool) []uint64 {
+	return serialWords(n, words, node, stuckAt1)
+}
+
+func serialWords(n *netlist.Netlist, words map[int32]uint64, node int32, stuckAt1 bool) []uint64 {
+	out := make([]uint64, n.NumGates())
+	for lane := uint(0); lane < 64; lane++ {
+		vals := evalForced(n, LaneSource(words, lane), node, stuckAt1)
+		for id, v := range vals {
+			if v {
+				out[id] |= 1 << lane
+			}
+		}
+	}
+	return out
+}
+
+// SerialDetectMask runs 64 independent fault-free/faulty serial
+// simulation pairs and returns, per lane, whether any observation sink
+// differs — the ground-truth detection mask that both
+// fault.ExactDetectMask and any faster criterion must reproduce.
+func SerialDetectMask(n *netlist.Netlist, words map[int32]uint64, node int32, stuckAt1 bool) uint64 {
+	var mask uint64
+	for lane := uint(0); lane < 64; lane++ {
+		src := LaneSource(words, lane)
+		good := SinkValues(n, EvalPattern(n, src))
+		bad := SinkValues(n, EvalPatternWithFault(n, src, node, stuckAt1))
+		for i := range good {
+			if good[i] != bad[i] {
+				mask |= 1 << lane
+				break
+			}
+		}
+	}
+	return mask
+}
+
+// CPTDetectMask converts the critical-path-tracing observability words
+// of a completed batch into the detection mask that criterion implies
+// for a stuck-at fault at node: the fault is predicted detected in
+// every lane where the node holds the opposite value and the pattern
+// observes the node. CPT merges fanout branches with OR, so this mask
+// is exact on fanout-free logic but may diverge from SerialDetectMask
+// under reconvergent fanout (see the known-divergence regression tests
+// in internal/fault).
+func CPTDetectMask(vals, obsWords []uint64, node int32, stuckAt1 bool) uint64 {
+	excite := vals[node] // lanes where the node is 0 ⇒ stuck-at-1 visible
+	if !stuckAt1 {
+		excite = ^excite
+	}
+	return ^excite & obsWords[node]
+}

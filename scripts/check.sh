@@ -10,12 +10,20 @@
 #      (internal/obs metrics registry, internal/core parallel trainer,
 #      internal/sparse parallel SpMM, internal/fault bit-parallel sim)
 #   4. the full test suite
-#   5. the bench-regression gate: cmd/benchcmp diffs the two most recent
+#   5. per-package coverage floors for the numerically critical packages
+#      (set ~5 points under their measured coverage so real erosion
+#      fails, incidental churn doesn't; see docs/TESTING.md)
+#   6. a short-budget fuzz smoke pass over every committed fuzz target,
+#      so the seed corpora keep executing and shallow crashers are
+#      caught pre-merge (FUZZTIME=0 skips, e.g. on slow CI)
+#   7. the bench-regression gate: cmd/benchcmp diffs the two most recent
 #      committed BENCH_NNNN.json artifacts and fails on a regression
 #      beyond tolerance (generous, because artifacts may come from
 #      different machines; see docs/OBSERVABILITY.md)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
 
 echo "== go vet ./..."
 go vet ./...
@@ -34,6 +42,36 @@ go test -race ./internal/obs ./internal/core ./internal/sparse ./internal/fault
 echo "== go build ./... && go test ./..."
 go build ./...
 go test ./...
+
+echo "== coverage floors"
+# Floors sit ~5 points below measured coverage at the time the gate was
+# added; raise them as coverage grows, never lower them to merge.
+check_cover() {
+    pkg="$1" floor="$2"
+    pct=$(go test -cover "./internal/$pkg" | grep -oE '[0-9]+\.[0-9]+% of statements' | grep -oE '^[0-9]+\.[0-9]+')
+    if [ -z "$pct" ]; then
+        echo "coverage: could not measure internal/$pkg" >&2
+        exit 1
+    fi
+    if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+        echo "coverage: internal/$pkg at ${pct}% — below the ${floor}% floor" >&2
+        exit 1
+    fi
+    echo "   internal/$pkg ${pct}% (floor ${floor}%)"
+}
+check_cover fault 90
+check_cover sparse 80
+check_cover core 85
+check_cover nn 90
+
+if [ "$FUZZTIME" != "0" ]; then
+    echo "== fuzz smoke (${FUZZTIME} per target; FUZZTIME=0 to skip)"
+    go test -run='^$' -fuzz='^FuzzNetlistParse$' -fuzztime="$FUZZTIME" ./internal/netlist
+    go test -run='^$' -fuzz='^FuzzSparseMul$'    -fuzztime="$FUZZTIME" ./internal/sparse
+    go test -run='^$' -fuzz='^FuzzBatchSim$'     -fuzztime="$FUZZTIME" ./internal/fault
+else
+    echo "== fuzz smoke skipped (FUZZTIME=0)"
+fi
 
 echo "== benchcmp (recorded performance trajectory)"
 benches=$(ls BENCH_*.json 2>/dev/null | sort | tail -2)
