@@ -24,6 +24,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -32,6 +33,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/opi"
 	"repro/internal/scoap"
 	"repro/internal/sparse"
 	"repro/internal/tensor"
@@ -80,6 +82,8 @@ var tier1 = []struct {
 	{"AblationSpMMParallel", benchSpMMParallel},
 	{"AblationIncrementalSCOAP", benchIncrementalSCOAP},
 	{"AblationFaultSimulation", benchFaultSimulation},
+	{"OPIFlowFull", benchOPIFlowFull},
+	{"OPIFlowIncremental", benchOPIFlowIncremental},
 }
 
 func main() {
@@ -265,6 +269,37 @@ func benchIncrementalSCOAP(b *testing.B) {
 		m.UpdateAfterObservationPoint(n, op)
 	}
 }
+
+// opiFlowBench mirrors the bench_test.go full-vs-incremental insertion
+// flow pair: identical predict→rank→insert work on the same design, with
+// only the inference strategy differing.
+func opiFlowBench(b *testing.B, disableIncremental bool) {
+	n := circuitgen.Generate("opif", circuitgen.Config{Seed: 9, NumGates: 50000, ShadowFunnels: 16, ShadowGuard: 4})
+	meas := scoap.Compute(n)
+	g := core.FromNetlist(n, meas)
+	model := core.MustNewModel(core.DefaultConfig())
+	probs := append([]float64(nil), model.PredictProbs(g)...)
+	sort.Float64s(probs)
+	thr := probs[int(0.995*float64(len(probs)-1))]
+	cfg := opi.FlowConfig{
+		Threshold:          thr,
+		PerIteration:       2,
+		MaxIterations:      16,
+		DisableIncremental: disableIncremental,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fn, fm, fg := n.Clone(), meas.Clone(), g.Clone()
+		b.StartTimer()
+		opi.RunFlow(fn, fm, fg, model, cfg)
+	}
+}
+
+func benchOPIFlowFull(b *testing.B) { opiFlowBench(b, true) }
+
+func benchOPIFlowIncremental(b *testing.B) { opiFlowBench(b, false) }
 
 func benchFaultSimulation(b *testing.B) {
 	n := circuitgen.Generate("ab3", circuitgen.Config{Seed: 5, NumGates: 50000})

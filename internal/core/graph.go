@@ -133,10 +133,19 @@ func (g *Graph) AddObservationPoint(target int32) int32 {
 	g.predCOO.Grow(g.N, g.N)
 	g.predCOO.Append(p, target, 1)
 
-	// Grow X by one row.
-	nx := tensor.NewDense(g.N, InputDim)
-	copy(nx.Data, g.X.Data)
-	g.X = nx
+	// Grow X by one row. The insertion flow appends one node at a time,
+	// so reallocating the whole matrix per insertion would be O(N) each;
+	// grow with 25% capacity headroom and reslice in place afterwards.
+	need := g.N * InputDim
+	if cap(g.X.Data) >= need {
+		g.X.Data = g.X.Data[:need]
+		g.X.Rows = g.N
+	} else {
+		nx := &tensor.Dense{Rows: g.N, Cols: InputDim,
+			Data: make([]float64, need, need+need/4)}
+		copy(nx.Data, g.X.Data)
+		g.X = nx
+	}
 	a := AttributeVector(0, 1, 1, 0)
 	copy(g.X.Row(int(p)), a[:])
 

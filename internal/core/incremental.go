@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/nn"
 	"repro/internal/tensor"
 )
@@ -17,13 +19,76 @@ import (
 // (verified by tests) at a cost proportional to the affected
 // neighborhood instead of the whole graph.
 
+// IncrementalRun is a cached-embedding inference session over one graph:
+// Probs exposes the current per-node positive probabilities and Update
+// refreshes them after local mutations (the attribute rows listed in
+// dirty, plus any nodes appended since the previous update). The slice
+// returned by Probs is owned by the session and is refreshed in place by
+// Update; callers must treat it as read-only.
+type IncrementalRun interface {
+	Probs() []float64
+	Update(g *Graph, dirty []int32)
+}
+
+// IncrementalPredictor is the capability the insertion flow (opi.RunFlow)
+// detects: a predictor that can pay full-graph inference once and then
+// track local graph mutations at D-hop-bounded cost. *Model and
+// *MultiStage both implement it.
+type IncrementalPredictor interface {
+	PredictProbs(g *Graph) []float64
+	NewIncremental(g *Graph) IncrementalRun
+}
+
 // IncrementalState caches per-layer embeddings and output probabilities
 // for incremental updates. It is tied to the (model, graph) pair that
 // produced it.
+//
+// The scratch fields below make repeated updates allocation-free in
+// steady state: the frontier is tracked with an epoch-stamped mark array
+// instead of per-update maps, and the gather/forward buffers keep their
+// capacity between calls. Without this, every update of a large flow
+// churned tens of megabytes and the GC dominated the timing.
 type IncrementalState struct {
 	embeds []*tensor.Dense // embeds[0] = X copy, embeds[d] = E_d
 	logits *tensor.Dense
 	Probs  []float64
+
+	mark          []int32 // mark[v] == epoch ⇔ v is in the current frontier
+	epoch         int32
+	front, front2 []int32         // frontier node lists (double-buffered)
+	gather        []*tensor.Dense // per-layer batched aggregation inputs
+	acts          []*tensor.Dense // per-layer encoder outputs + FC activations
+}
+
+// scratchDense resizes *p to rows×cols, reusing its backing array when
+// the capacity allows. Frontiers grow between updates, so reallocations
+// take 2× headroom to amortize; rows are fully overwritten by every
+// user, so no zeroing is needed.
+func scratchDense(p **tensor.Dense, rows, cols int) *tensor.Dense {
+	d := *p
+	if d == nil || cap(d.Data) < rows*cols {
+		d = &tensor.Dense{Data: make([]float64, rows*cols, rows*cols*2+8)}
+	}
+	d.Rows, d.Cols = rows, cols
+	d.Data = d.Data[:rows*cols]
+	*p = d
+	return d
+}
+
+// modelRun adapts a (Model, IncrementalState) pair to IncrementalRun.
+type modelRun struct {
+	m  *Model
+	st *IncrementalState
+}
+
+func (r *modelRun) Probs() []float64 { return r.st.Probs }
+
+func (r *modelRun) Update(g *Graph, dirty []int32) { r.m.UpdateIncremental(r.st, g, dirty) }
+
+// NewIncremental runs one full inference pass and returns the cached
+// session for incremental updates.
+func (m *Model) NewIncremental(g *Graph) IncrementalRun {
+	return &modelRun{m: m, st: m.ForwardFull(g)}
 }
 
 // ForwardFull runs a complete inference pass and captures the state
@@ -53,8 +118,11 @@ func probsFromLogits(logits *tensor.Dense) []float64 {
 // lists every node whose attribute row changed; nodes appended since the
 // last update (g.N larger than the cached state) are treated as dirty
 // automatically. The update touches only the D-hop neighborhood of the
-// dirty set.
-func (m *Model) UpdateIncremental(st *IncrementalState, g *Graph, dirty []int32) {
+// dirty set, and returns the nodes whose output probabilities were
+// recomputed (the final frontier) so that composite predictors — the
+// MultiStage cascade — can refresh their own per-node state for exactly
+// the affected region.
+func (m *Model) UpdateIncremental(st *IncrementalState, g *Graph, dirty []int32) []int32 {
 	oldN := st.embeds[0].Rows
 	if g.N < oldN {
 		panic("core: graph shrank; incremental state invalid")
@@ -71,74 +139,145 @@ func (m *Model) UpdateIncremental(st *IncrementalState, g *Graph, dirty []int32)
 		}
 	}
 
-	// Refresh E0 rows (attributes) for the dirty set.
-	frontier := make(map[int32]bool, len(dirty))
+	// Refresh E0 rows (attributes) for the dirty set. The epoch-stamped
+	// mark array deduplicates without allocating a map per update.
+	for len(st.mark) < g.N {
+		st.mark = append(st.mark, 0)
+	}
+	st.epoch++
+	nodes := st.front[:0]
 	for _, v := range dirty {
-		frontier[v] = true
+		if st.mark[v] == st.epoch {
+			continue
+		}
+		st.mark[v] = st.epoch
+		nodes = append(nodes, v)
 		copy(st.embeds[0].Row(int(v)), g.X.Row(int(v)))
 	}
-	if len(frontier) == 0 {
-		return
+	next := st.front2[:0]
+	defer func() { st.front, st.front2 = nodes, next }()
+	if len(nodes) == 0 {
+		return nil
+	}
+	if len(st.gather) < len(m.Enc) {
+		st.gather = make([]*tensor.Dense, len(m.Enc))
+		st.acts = make([]*tensor.Dense, len(m.Enc)+len(m.FC.Layers))
 	}
 
+	// Each layer's frontier is processed as one batched matrix — gather
+	// the aggregated inputs into a k×cols block, run a single encoder
+	// forward, scatter the rows back into the cache. Per row the kernel
+	// accumulates in the same index order as the 1-row case, so batching
+	// is bit-identical; it just replaces k tiny MatMuls with one.
 	wpr, wsu := m.Wpr.Data[0], m.Wsu.Data[0]
 	for d, enc := range m.Enc {
 		// A node's E_{d+1} depends on its own and its neighbors' E_d, so
 		// the affected set grows by one hop per layer.
-		next := make(map[int32]bool, 2*len(frontier))
-		for v := range frontier {
-			next[v] = true
+		st.epoch++
+		next = next[:0]
+		for _, v := range nodes {
+			// v may already be in next as a neighbor of an earlier node;
+			// the mark check keeps the frontier duplicate-free (the FC
+			// head's skip-gather fast path relies on len(affected) == N
+			// implying affected is exactly the identity permutation).
+			if st.mark[v] != st.epoch {
+				st.mark[v] = st.epoch
+				next = append(next, v)
+			}
 			for _, u := range g.SuccList(v) {
-				next[u] = true
+				if st.mark[u] != st.epoch {
+					st.mark[u] = st.epoch
+					next = append(next, u)
+				}
 			}
 			for _, u := range g.PredList(v) {
-				next[u] = true
+				if st.mark[u] != st.epoch {
+					st.mark[u] = st.epoch
+					next = append(next, u)
+				}
 			}
 		}
-		frontier = next
+		nodes, next = next, nodes
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 
 		prev := st.embeds[d]
 		cur := st.embeds[d+1]
-		agg := make([]float64, prev.Cols)
-		for v := range frontier {
+		batch := scratchDense(&st.gather[d], len(nodes), prev.Cols)
+		for i, v := range nodes {
+			agg := batch.Row(i)
 			copy(agg, prev.Row(int(v)))
 			preds, pvals := g.PredEntries(v)
-			for i, u := range preds {
-				w := wpr * pvals[i]
+			for k, u := range preds {
+				w := wpr * pvals[k]
 				row := prev.Row(int(u))
 				for j, x := range row {
 					agg[j] += w * x
 				}
 			}
 			succs, svals := g.SuccEntries(v)
-			for i, u := range succs {
-				w := wsu * svals[i]
+			for k, u := range succs {
+				w := wsu * svals[k]
 				row := prev.Row(int(u))
 				for j, x := range row {
 					agg[j] += w * x
 				}
 			}
-			out := enc.ForwardInto(nil, &tensor.Dense{Rows: 1, Cols: len(agg), Data: agg})
-			out.ReLUInPlace()
-			copy(cur.Row(int(v)), out.Data)
+		}
+		out := enc.ForwardInto(scratchDense(&st.acts[d], len(nodes), cur.Cols), batch)
+		out.ReLUInPlace()
+		for i, v := range nodes {
+			copy(cur.Row(int(v)), out.Row(i))
 		}
 	}
 
-	// Classifier head over the final frontier rows only.
-	for v := range frontier {
-		row := st.embeds[len(st.embeds)-1].Row(int(v))
-		logits := m.FC.Infer(&tensor.Dense{Rows: 1, Cols: len(row), Data: row})
-		copy(st.logits.Row(int(v)), logits.Data)
-		p := nn.Softmax(logits)
-		st.Probs[v] = p.At(0, 1)
+	// Classifier head over the final frontier rows only, again as one
+	// batched forward instead of one per node. The MLP layers are driven
+	// directly (rather than via Infer) so the activations reuse the
+	// state's scratch buffers across updates of varying frontier size.
+	affected := nodes
+	last := st.embeds[len(st.embeds)-1]
+	cur := last
+	if len(affected) < last.Rows {
+		in := scratchDense(&st.gather[len(m.Enc)-1], len(affected), last.Cols)
+		for i, v := range affected {
+			copy(in.Row(i), last.Row(int(v)))
+		}
+		cur = in
 	}
+	for i, l := range m.FC.Layers {
+		dst := l.ForwardInto(scratchDense(&st.acts[len(m.Enc)+i], cur.Rows, l.Out), cur)
+		cur = dst
+		if i+1 < len(m.FC.Layers) {
+			cur.ReLUInPlace()
+		}
+	}
+	logits := cur
+	p := nn.Softmax(logits)
+	for i, v := range affected {
+		copy(st.logits.Row(int(v)), logits.Row(i))
+		st.Probs[v] = p.At(i, 1)
+	}
+	return affected
 }
 
+// growRows extends a cached matrix to cover appended nodes. The flow
+// appends a handful of rows per iteration, so reallocating (and copying)
+// the whole matrix every update would turn the cache itself into a
+// per-iteration O(N) cost and a GC storm; instead the first grow
+// over-allocates 25% headroom and later grows reslice in place (the
+// make-time zeroing covers the not-yet-used capacity).
 func growRows(d *tensor.Dense, rows int) *tensor.Dense {
 	if d.Rows >= rows {
 		return d
 	}
-	nd := tensor.NewDense(rows, d.Cols)
+	need := rows * d.Cols
+	if cap(d.Data) >= need {
+		d.Data = d.Data[:need]
+		d.Rows = rows
+		return d
+	}
+	nd := &tensor.Dense{Rows: rows, Cols: d.Cols,
+		Data: make([]float64, need, need+need/4)}
 	copy(nd.Data, d.Data)
 	return nd
 }

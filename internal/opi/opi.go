@@ -18,7 +18,10 @@
 package opi
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -28,11 +31,16 @@ import (
 )
 
 // Insertion-flow metrics (no-ops until obs.Enable; see
-// docs/OBSERVABILITY.md).
+// docs/OBSERVABILITY.md). incremental_updates vs full_inferences is the
+// Section 3.4 efficiency story in two numbers: how often the flow paid
+// D-hop-bounded cached-embedding cost instead of a whole-graph forward
+// pass.
 var (
-	opiIterations = obs.GetCounter("opi.iterations")
-	opiInsertions = obs.GetCounter("opi.insertions")
-	opiPositives  = obs.GetHistogram("opi.positives")
+	opiIterations  = obs.GetCounter("opi.iterations")
+	opiInsertions  = obs.GetCounter("opi.insertions")
+	opiPositives   = obs.GetHistogram("opi.positives")
+	opiIncremental = obs.GetCounter("opi.incremental_updates")
+	opiFullInfer   = obs.GetCounter("opi.full_inferences")
 )
 
 // Predictor produces per-node positive (difficult-to-observe)
@@ -65,6 +73,16 @@ type FlowConfig struct {
 	// ExactImpactCap limits exact evaluation to small candidate sets;
 	// default 64.
 	ExactImpactCap int
+	// FullEvery re-runs full inference every FullEvery iterations when
+	// the predictor supports incremental updates, discarding the cached
+	// embeddings — an escape hatch against cache drift. 0 (the default)
+	// means never: the cache is trusted for the whole flow, which the
+	// equivalence tests justify.
+	FullEvery int
+	// DisableIncremental forces a full inference pass every iteration
+	// even for predictors implementing core.IncrementalPredictor; used by
+	// the equivalence tests and the full-vs-incremental benchmarks.
+	DisableIncremental bool
 	// Progress, when non-nil, is invoked once per iteration.
 	Progress func(iter, positives, insertedSoFar int)
 }
@@ -103,16 +121,49 @@ type FlowResult struct {
 
 // RunFlow executes the iterative insertion flow, mutating the netlist,
 // measures and graph in place.
+//
+// When the predictor implements core.IncrementalPredictor (*core.Model
+// and *core.MultiStage both do), the flow pays full-graph inference only
+// once: subsequent iterations feed the dirty set of each round's
+// insertions — the new OP nodes plus the refreshed fan-in cones — into
+// the predictor's cached-embedding update, whose cost is bounded by the
+// D-hop neighborhood of the mutations instead of the whole graph
+// (Section 3.4's efficiency argument applied to the Section 4 loop).
+// FlowConfig.FullEvery periodically discards the cache;
+// FlowConfig.DisableIncremental opts out entirely.
 func RunFlow(n *netlist.Netlist, meas *scoap.Measures, g *core.Graph, pred Predictor, cfg FlowConfig) FlowResult {
 	span := obs.StartSpan("opi")
 	defer span.End()
 	cfg = cfg.withDefaults()
 	res := FlowResult{}
 	observed := observedSet(n)
+
+	ip, incremental := pred.(core.IncrementalPredictor)
+	if cfg.DisableIncremental {
+		incremental = false
+	}
+	var run core.IncrementalRun
+	var dirty []int32 // attribute rows refreshed since the last inference
+
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
 		iterSpan := span.Child("iteration")
 		opiIterations.Inc()
-		probs := pred.PredictProbs(g)
+		var probs []float64
+		switch {
+		case !incremental:
+			opiFullInfer.Inc()
+			probs = pred.PredictProbs(g)
+		case run == nil || (cfg.FullEvery > 0 && iter%cfg.FullEvery == 0):
+			opiFullInfer.Inc()
+			run = ip.NewIncremental(g)
+			dirty = dirty[:0]
+			probs = run.Probs()
+		default:
+			opiIncremental.Inc()
+			run.Update(g, dirty)
+			dirty = dirty[:0]
+			probs = run.Probs()
+		}
 		positives := make(map[int32]bool)
 		for v := 0; v < g.N && v < n.NumGates(); v++ {
 			if probs[v] >= cfg.Threshold && insertable(n, int32(v)) && !observed[int32(v)] {
@@ -143,8 +194,18 @@ func RunFlow(n *netlist.Netlist, meas *scoap.Measures, g *core.Graph, pred Predi
 			iterSpan.End()
 			return res
 		}
+		// Levels are computed once per iteration: OP insertions never
+		// change the level of an existing node (an Obs cell is a pure
+		// sink), so the per-insertion recomputation this loop used to do
+		// was N·insertions of wasted work. The slice is extended with the
+		// new OP's level after each insertion to stay index-aligned.
+		lv := append([]int32(nil), n.Levels()...)
 		for _, v := range selected {
-			insertAndRefresh(n, meas, g, v)
+			_, touched := insertAndRefresh(n, meas, g, v, lv)
+			lv = append(lv, lv[v]+1)
+			if incremental {
+				dirty = append(dirty, touched...)
+			}
 			observed[v] = true
 			res.Targets = append(res.Targets, v)
 		}
@@ -161,23 +222,58 @@ func RunFlow(n *netlist.Netlist, meas *scoap.Measures, g *core.Graph, pred Predi
 // fan-in cone) and returns up to PerIteration targets, skipping
 // candidates already covered by the cone of a higher-ranked selection so
 // a single funnel is not observed at every node simultaneously.
+//
+// The per-positive fan-in-cone BFS is the flow's second hot spot once
+// inference runs incrementally, so the cones are extracted across a
+// worker pool (FaninCone only reads immutable netlist structure, never
+// the lazy caches, so concurrent traversals are safe).
 func selectByImpact(n *netlist.Netlist, positives map[int32]bool, cfg FlowConfig) []int32 {
+	nodes := make([]int32, 0, len(positives))
+	for v := range positives {
+		nodes = append(nodes, v)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	cones := make([][]int32, len(nodes))
+	if workers := runtime.GOMAXPROCS(0); workers > 1 && len(nodes) > 1 {
+		if workers > len(nodes) {
+			workers = len(nodes)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(nodes) {
+						return
+					}
+					cones[i] = n.FaninCone(nodes[i], cfg.ConeLimit)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, v := range nodes {
+			cones[i] = n.FaninCone(v, cfg.ConeLimit)
+		}
+	}
+
 	type scored struct {
 		node   int32
+		cone   []int32
 		impact int
 	}
-	cones := make(map[int32][]int32, len(positives))
-	ranked := make([]scored, 0, len(positives))
-	for v := range positives {
-		cone := n.FaninCone(v, cfg.ConeLimit)
+	ranked := make([]scored, 0, len(nodes))
+	for i, v := range nodes {
 		impact := 1
-		for _, u := range cone {
+		for _, u := range cones[i] {
 			if positives[u] {
 				impact++
 			}
 		}
-		cones[v] = cone
-		ranked = append(ranked, scored{v, impact})
+		ranked = append(ranked, scored{v, cones[i], impact})
 	}
 	sort.Slice(ranked, func(i, j int) bool {
 		if ranked[i].impact != ranked[j].impact {
@@ -195,7 +291,7 @@ func selectByImpact(n *netlist.Netlist, positives map[int32]bool, cfg FlowConfig
 			continue
 		}
 		selected = append(selected, s.node)
-		for _, u := range cones[s.node] {
+		for _, u := range s.cone {
 			covered[u] = true
 		}
 	}
@@ -204,23 +300,32 @@ func selectByImpact(n *netlist.Netlist, positives map[int32]bool, cfg FlowConfig
 
 // insertAndRefresh performs one observation point insertion with all
 // incremental updates: netlist node+edge, SCOAP fan-in-cone relaxation,
-// COO adjacency tuples and attribute rows of affected nodes.
-func insertAndRefresh(n *netlist.Netlist, meas *scoap.Measures, g *core.Graph, target int32) int32 {
-	lv := n.Levels() // levels of existing nodes are unaffected by an OP
+// COO adjacency tuples and attribute rows of affected nodes. lv holds
+// the logic levels of the pre-existing nodes (hoisted out of the
+// per-insertion path: levels of existing nodes are unaffected by an OP).
+// It returns the new OP node and the nodes whose attribute rows actually
+// changed — the dirty set for cached-embedding inference. An OP changes
+// only observability (never controllability or levels), the SCOAP
+// relaxation reports exactly the cells it improved, and clamping
+// collapses many raw improvements to the same attribute value, so the
+// dirty set is typically far smaller than the fan-in cone.
+func insertAndRefresh(n *netlist.Netlist, meas *scoap.Measures, g *core.Graph, target int32, lv []int32) (int32, []int32) {
 	op, err := n.InsertObservationPoint(target)
 	if err != nil {
 		panic(err)
 	}
-	meas.UpdateAfterObservationPoint(n, op)
+	changed := meas.UpdateAfterObservationPoint(n, op)
 	g.AddObservationPoint(target)
-	// Observability changed only inside the fan-in cone of target.
-	g.SetAttributes(target, float64(lv[target]), float64(meas.CC0[target]),
-		float64(meas.CC1[target]), clampCO(meas.CO[target]))
-	for _, u := range n.FaninCone(target, 0) {
+	dirty := make([]int32, 0, len(changed))
+	for _, u := range changed {
+		old := g.X.At(int(u), 3)
 		g.SetAttributes(u, float64(lv[u]), float64(meas.CC0[u]),
 			float64(meas.CC1[u]), clampCO(meas.CO[u]))
+		if g.X.At(int(u), 3) != old {
+			dirty = append(dirty, u)
+		}
 	}
-	return op
+	return op, dirty
 }
 
 func clampCO(co int32) float64 {
@@ -240,10 +345,15 @@ func insertable(n *netlist.Netlist, v int32) bool {
 }
 
 // observedSet returns the nodes that already drive an observation point.
+// Obs cells without fanin (a malformed netlist — nothing in this
+// repository builds one, but inputs arrive from parsers and fuzzers too)
+// observe nothing and are skipped rather than panicking the flow.
 func observedSet(n *netlist.Netlist) map[int32]bool {
 	out := make(map[int32]bool)
 	for _, op := range n.ObservationPoints() {
-		out[n.Fanin(op)[0]] = true
+		if fi := n.Fanin(op); len(fi) > 0 {
+			out[fi[0]] = true
+		}
 	}
 	return out
 }
@@ -383,22 +493,44 @@ func SimulationGreedy(n *netlist.Netlist, cfg SimGreedyConfig) []int32 {
 		if k > len(difficult) {
 			k = len(difficult)
 		}
+		inserted := 0
 		for _, d := range difficult[:k] {
-			if _, err := n.InsertObservationPoint(d.node); err != nil {
+			if _, err := insertOP(n, d.node); err != nil {
 				continue
 			}
 			observed[d.node] = true
 			targets = append(targets, d.node)
+			inserted++
+		}
+		if inserted == 0 {
+			// Every insertion failed; the next round would simulate the
+			// same patterns against the same netlist and fail identically,
+			// so bail instead of burning MaxIterations full fault
+			// simulations on zero progress (IndustrialBaseline has the
+			// same guard).
+			return targets
 		}
 	}
 	return targets
 }
 
+// insertOP indirects observation-point insertion so tests can force
+// failure paths; production use is always the netlist method.
+var insertOP = func(n *netlist.Netlist, target int32) (int32, error) {
+	return n.InsertObservationPoint(target)
+}
+
 // CalibrateCOThreshold picks the baseline tool's difficulty threshold
 // from labeled data: the q-quantile (e.g. 0.1) of SCOAP observability
 // over the positive nodes, so that the tool would flag (1-q) of the truly
-// difficult nodes as difficult.
+// difficult nodes as difficult. q is clamped to [0, 1]; values outside
+// that range would index out of the sorted sample.
 func CalibrateCOThreshold(meas *scoap.Measures, labels []int, q float64) int32 {
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
 	var cos []int32
 	for v, l := range labels {
 		if l == 1 {

@@ -231,3 +231,36 @@ func TestCalibrateCOThreshold(t *testing.T) {
 		t.Error("empty calibration should return sentinel")
 	}
 }
+
+func TestCalibrateCOThresholdClampsQuantile(t *testing.T) {
+	// q outside [0,1] used to index out of range (q>1 panics, q<0
+	// indexes negatively); both must clamp to the boundary quantiles.
+	n, m, _ := buildBench(t, 9, 600)
+	labels := syntheticLabels(n, m)
+	lo := CalibrateCOThreshold(m, labels, 0)
+	hi := CalibrateCOThreshold(m, labels, 1)
+	if got := CalibrateCOThreshold(m, labels, -0.5); got != lo {
+		t.Errorf("q=-0.5 -> %d, want the q=0 threshold %d", got, lo)
+	}
+	if got := CalibrateCOThreshold(m, labels, 1.5); got != hi {
+		t.Errorf("q=1.5 -> %d, want the q=1 threshold %d", got, hi)
+	}
+}
+
+func TestObservedSetSkipsFaninlessObs(t *testing.T) {
+	// A malformed netlist can carry an Obs cell with no fanin; observedSet
+	// used to panic on Fanin(op)[0].
+	n := netlist.New("malformed")
+	pi := n.MustAddGate(netlist.Input, "pi")
+	b := n.MustAddGate(netlist.Buf, "b", pi)
+	n.MustAddGate(netlist.Output, "po", b)
+	op, err := n.InsertObservationPoint(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Gate(op).Fanin = nil // simulate the malformed input
+	got := observedSet(n)
+	if len(got) != 0 {
+		t.Errorf("fanin-less Obs cell observed %v, want nothing", got)
+	}
+}

@@ -1,6 +1,7 @@
 package opi
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/fault"
@@ -31,6 +32,31 @@ func TestSimulationGreedyClearsDifficulty(t *testing.T) {
 	}
 	if got := n.CountType(netlist.Obs); got != len(targets) {
 		t.Errorf("netlist OPs %d != targets %d", got, len(targets))
+	}
+}
+
+func TestSimulationGreedyStopsWhenNothingInserts(t *testing.T) {
+	// When every insertion fails, the loop used to spin through all
+	// MaxIterations rounds of full fault simulation with zero progress.
+	// With the early exit it gives up after one round's worth of
+	// attempts.
+	orig := insertOP
+	calls := 0
+	insertOP = func(n *netlist.Netlist, target int32) (int32, error) {
+		calls++
+		return 0, errors.New("forced failure")
+	}
+	defer func() { insertOP = orig }()
+
+	n, _, _ := buildBench(t, 4, 1500)
+	cfg := SimGreedyConfig{Patterns: 256, PerIteration: 8, MaxIterations: 64, Seed: 1}
+	targets := SimulationGreedy(n, cfg)
+	if len(targets) != 0 {
+		t.Fatalf("flow reported %d targets despite every insertion failing", len(targets))
+	}
+	if calls > cfg.PerIteration {
+		t.Errorf("flow attempted %d insertions (> one round of %d): no early exit",
+			calls, cfg.PerIteration)
 	}
 }
 

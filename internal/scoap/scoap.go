@@ -181,7 +181,14 @@ func (m *Measures) lowerCO(id, v int32) {
 // unaffected by an observation point; observability can only decrease,
 // and only for cells in the fan-in cone of the observed net. The cone is
 // re-relaxed in reverse topological order.
-func (m *Measures) UpdateAfterObservationPoint(n *netlist.Netlist, op int32) {
+//
+// It returns the cells whose observability actually changed, in
+// relaxation (reverse topological) order. The relaxation typically
+// improves only the cells whose best observation path runs through the
+// new point — a small fraction of the cone — so callers propagating the
+// update further (attribute rows, cached GCN embeddings) need to touch
+// only those.
+func (m *Measures) UpdateAfterObservationPoint(n *netlist.Netlist, op int32) []int32 {
 	scoapIncremental.Inc()
 	// Grow the measure slices to cover the new cell(s).
 	for int32(len(m.CO)) < int32(n.NumGates()) {
@@ -193,16 +200,27 @@ func (m *Measures) UpdateAfterObservationPoint(n *netlist.Netlist, op int32) {
 	m.CO[op] = 0
 
 	target := n.Gate(op).Fanin[0]
-	m.lowerCO(target, 0)
 
 	// Relax the fan-in cone. IDs are topological, so processing cone
 	// members in decreasing ID order is reverse topological order.
 	cone := n.FaninCone(target, 0)
 	ids := append([]int32{target}, cone...)
 	sortDesc(ids)
+	before := make([]int32, len(ids))
+	for i, id := range ids {
+		before[i] = m.CO[id]
+	}
+	m.lowerCO(target, 0)
 	for _, id := range ids {
 		m.updateObservability(n, id)
 	}
+	changed := make([]int32, 0, len(ids)/4+1)
+	for i, id := range ids {
+		if m.CO[id] != before[i] {
+			changed = append(changed, id)
+		}
+	}
+	return changed
 }
 
 // Clone returns a deep copy of the measures.

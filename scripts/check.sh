@@ -8,7 +8,8 @@
 #   2. gofmt cleanliness (no files would be rewritten)
 #   3. race-detector tests for the concurrency-heavy packages
 #      (internal/obs metrics registry, internal/core parallel trainer,
-#      internal/sparse parallel SpMM, internal/fault bit-parallel sim)
+#      internal/sparse parallel SpMM, internal/fault bit-parallel sim,
+#      internal/opi parallel impact ranking)
 #   4. the full test suite
 #   5. per-package coverage floors for the numerically critical packages
 #      (set ~5 points under their measured coverage so real erosion
@@ -36,8 +37,8 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go test -race ./internal/obs ./internal/core ./internal/sparse ./internal/fault"
-go test -race ./internal/obs ./internal/core ./internal/sparse ./internal/fault
+echo "== go test -race ./internal/obs ./internal/core ./internal/sparse ./internal/fault ./internal/opi"
+go test -race ./internal/obs ./internal/core ./internal/sparse ./internal/fault ./internal/opi
 
 echo "== go build ./... && go test ./..."
 go build ./...
