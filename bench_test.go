@@ -9,16 +9,24 @@
 package repro_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
 	"math/rand"
+	"net/http/httptest"
 	"sort"
+	"sync"
 	"testing"
 
 	"repro/internal/circuitgen"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/netlist"
 	"repro/internal/opi"
 	"repro/internal/scoap"
+	"repro/internal/serve"
 	"repro/internal/sparse"
 	"repro/internal/tensor"
 )
@@ -226,3 +234,88 @@ func BenchmarkAblationFaultSimulation(b *testing.B) {
 		sim.Batch(rng)
 	}
 }
+
+// --- Serving benchmarks --------------------------------------------------
+
+// serveFanout is the concurrent-client count of the serving benchmark
+// pair: enough to make coalescing matter, small enough that the serial
+// variant is not dominated by queueing.
+const serveFanout = 6
+
+// serveScoreBench measures the serving layer's concurrent-score path.
+// Each iteration plays one burst of serveFanout concurrent /v1/score
+// requests for a previously-unseen 30k-gate design (a unique leading
+// comment line defeats the design cache across iterations, so every
+// burst pays a cold compile). With batching the burst coalesces into a
+// single parse→SCOAP→forward; the serial variant pays one per request.
+// The pair is the measured basis for the ≥2× batched-throughput claim
+// in docs/SERVING.md.
+func serveScoreBench(b *testing.B, batched bool) {
+	b.Helper()
+	n := circuitgen.Generate("srv", circuitgen.Config{Seed: 11, NumGates: 30000})
+	var buf bytes.Buffer
+	if err := netlist.Write(&buf, n); err != nil {
+		b.Fatal(err)
+	}
+	base := buf.String()
+
+	opts := serve.Options{
+		Predictor:     core.MustNewModel(core.DefaultConfig()),
+		MaxConcurrent: serveFanout,
+		MaxQueue:      serveFanout,
+		CacheEntries:  2, // bound memory: each entry holds a 30k-node graph + embeddings
+	}
+	if !batched {
+		opts.DisableBatching = true
+		opts.CacheEntries = -1
+	}
+	srv, err := serve.New(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		body, err := json.Marshal(serve.ScoreRequest{Netlist: fmt.Sprintf("# iter%d\n%s", i, base)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		var wg sync.WaitGroup
+		errs := make(chan error, serveFanout)
+		for r := 0; r < serveFanout; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := client.Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errs <- fmt.Errorf("status %d", resp.StatusCode)
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeScoreBatched: concurrent identical requests ride one
+// single-flight compile.
+func BenchmarkServeScoreBatched(b *testing.B) { serveScoreBench(b, true) }
+
+// BenchmarkServeScoreSerial: batching and caching disabled; every
+// request pays its own compile.
+func BenchmarkServeScoreSerial(b *testing.B) { serveScoreBench(b, false) }

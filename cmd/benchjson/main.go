@@ -10,21 +10,28 @@
 //	benchjson [-out FILE] [-dir DIR] [-bench REGEXP] [-counters]
 //
 // With no -out, the next free BENCH_NNNN.json number in -dir (default
-// ".") is chosen. -bench filters benchmarks by name. -counters enables
-// the internal/obs instrumentation during the run and embeds the
-// counter snapshot (e.g. spmm.rows, faultsim.batches) in the artifact.
+// ".") is chosen. -bench filters benchmarks by name. -count (default 3)
+// samples each benchmark several times and records the fastest run, so
+// scheduler-steal spikes on shared machines don't land in the artifact.
+// -counters enables the internal/obs instrumentation during the run and
+// embeds the counter snapshot (e.g. spmm.rows, faultsim.batches) in the
+// artifact.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"regexp"
 	"runtime"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -32,9 +39,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/opi"
 	"repro/internal/scoap"
+	"repro/internal/serve"
 	"repro/internal/sparse"
 	"repro/internal/tensor"
 )
@@ -84,12 +93,15 @@ var tier1 = []struct {
 	{"AblationFaultSimulation", benchFaultSimulation},
 	{"OPIFlowFull", benchOPIFlowFull},
 	{"OPIFlowIncremental", benchOPIFlowIncremental},
+	{"ServeScoreBatched", benchServeScoreBatched},
+	{"ServeScoreSerial", benchServeScoreSerial},
 }
 
 func main() {
 	out := flag.String("out", "", "output path (default: next free BENCH_NNNN.json in -dir)")
 	dir := flag.String("dir", ".", "directory scanned for existing BENCH_NNNN.json files")
 	pattern := flag.String("bench", "", "regexp filtering benchmark names (default: all)")
+	count := flag.Int("count", 3, "samples per benchmark; the fastest is recorded")
 	counters := flag.Bool("counters", true, "enable internal/obs and embed the counter snapshot")
 	flag.Parse()
 
@@ -127,16 +139,28 @@ func main() {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "running %-28s ", bm.name)
-		r := testing.Benchmark(bm.fn)
-		res := BenchResult{
-			Name:        bm.name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			Seconds:     r.T.Seconds(),
+		// Sample -count times and keep the fastest run. On a shared
+		// container, scheduler steal inflates individual samples by tens
+		// of percent; the minimum is the robust estimator of the code's
+		// actual cost (a real regression slows every sample, a steal
+		// spike only some), so recorded artifacts stay comparable across
+		// noisy recording sessions.
+		var res BenchResult
+		for k := 0; k < *count; k++ {
+			r := testing.Benchmark(bm.fn)
+			sample := BenchResult{
+				Name:        bm.name,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				Seconds:     r.T.Seconds(),
+			}
+			if k == 0 || sample.NsPerOp < res.NsPerOp {
+				res = sample
+			}
 		}
-		fmt.Fprintf(os.Stderr, "%12.0f ns/op  %d iters\n", res.NsPerOp, res.Iterations)
+		fmt.Fprintf(os.Stderr, "%12.0f ns/op  %d iters  (best of %d)\n", res.NsPerOp, res.Iterations, *count)
 		file.Benchmarks = append(file.Benchmarks, res)
 	}
 	if len(file.Benchmarks) == 0 {
@@ -311,3 +335,74 @@ func benchFaultSimulation(b *testing.B) {
 		sim.Batch(rng)
 	}
 }
+
+// serveScoreBench mirrors the repository-level serving benchmark pair:
+// one burst of 6 concurrent /v1/score requests per iteration for a
+// previously-unseen 30k-gate design (a unique leading comment defeats
+// the cache across iterations). Batched coalesces the burst into one
+// compile; serial pays one per request.
+func serveScoreBench(b *testing.B, batched bool) {
+	const fanout = 6
+	n := circuitgen.Generate("srv", circuitgen.Config{Seed: 11, NumGates: 30000})
+	var buf bytes.Buffer
+	if err := netlist.Write(&buf, n); err != nil {
+		b.Fatal(err)
+	}
+	base := buf.String()
+
+	opts := serve.Options{
+		Predictor:     core.MustNewModel(core.DefaultConfig()),
+		MaxConcurrent: fanout,
+		MaxQueue:      fanout,
+		CacheEntries:  2,
+	}
+	if !batched {
+		opts.DisableBatching = true
+		opts.CacheEntries = -1
+	}
+	srv, err := serve.New(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		body, err := json.Marshal(serve.ScoreRequest{Netlist: fmt.Sprintf("# iter%d\n%s", i, base)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		var wg sync.WaitGroup
+		errs := make(chan error, fanout)
+		for r := 0; r < fanout; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := client.Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errs <- fmt.Errorf("status %d", resp.StatusCode)
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchServeScoreBatched(b *testing.B) { serveScoreBench(b, true) }
+
+func benchServeScoreSerial(b *testing.B) { serveScoreBench(b, false) }

@@ -1,0 +1,133 @@
+// Command serve runs the inference-as-a-service HTTP server: it loads a
+// trained weights checkpoint once and answers testability queries over
+// JSON until terminated (see docs/SERVING.md and docs/API.md).
+//
+// Usage:
+//
+//	serve -model model.gob [-addr :8080] [-max-concurrent 4]
+//	      [-max-queue 64] [-timeout 30s] [-cache 32]
+//	      [-drain-timeout 30s]
+//	serve -demo             # untrained paper-architecture model
+//
+// -model accepts both the self-describing checkpoint format
+// (core.SaveCheckpoint) and the legacy cascade stream `gcntest train`
+// writes. On SIGINT/SIGTERM the server flips /healthz to "draining",
+// stops accepting connections, and waits up to -drain-timeout for
+// in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	model := fs.String("model", "", "weights checkpoint (core.SaveCheckpoint or legacy gcntest train output)")
+	demo := fs.Bool("demo", false, "serve an untrained paper-architecture model (smoke tests, curl demos)")
+	maxConcurrent := fs.Int("max-concurrent", 4, "requests doing work simultaneously")
+	maxQueue := fs.Int("max-queue", 64, "requests allowed to wait for a slot before shedding")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-request deadline")
+	cacheEntries := fs.Int("cache", 32, "compiled-design LRU capacity (negative disables)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var pred core.IncrementalPredictor
+	var info string
+	switch {
+	case *model != "":
+		p, err := core.LoadCheckpointFile(*model)
+		if err != nil {
+			return err
+		}
+		pred, info = p, describe(p, *model)
+	case *demo:
+		pred = core.MustNewModel(core.DefaultConfig())
+		info = "demo (untrained, default architecture)"
+		log.Println("WARNING: -demo serves an UNTRAINED model; scores are meaningless")
+	default:
+		return errors.New("one of -model or -demo is required")
+	}
+
+	// Live /metrics and /snapshot are part of the service contract, so
+	// instrumentation is always on.
+	obs.Enable()
+
+	srv, err := serve.New(serve.Options{
+		Predictor:      pred,
+		ModelInfo:      info,
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		DefaultTimeout: *timeout,
+		CacheEntries:   *cacheEntries,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving %s on %s", info, *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: advertise draining on /healthz, then let Shutdown
+	// finish in-flight requests within the grace period.
+	log.Printf("signal received; draining (up to %s)", *drainTimeout)
+	srv.StartDraining()
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	log.Println("drained cleanly")
+	return nil
+}
+
+// describe summarizes a loaded predictor for /healthz.
+func describe(p core.IncrementalPredictor, path string) string {
+	switch m := p.(type) {
+	case *core.Model:
+		return fmt.Sprintf("model %s (%d params)", path, m.NumParams())
+	case *core.MultiStage:
+		total := 0
+		for _, s := range m.Stages {
+			total += s.NumParams()
+		}
+		return fmt.Sprintf("multistage %s (%d stages, %d params)", path, len(m.Stages), total)
+	default:
+		return path
+	}
+}

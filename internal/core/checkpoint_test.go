@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// trainTiny fits a tiny model so checkpoints carry non-initial weights.
+func trainTiny(t *testing.T) (*Model, *Graph) {
+	t.Helper()
+	g := testGraph(3, 300)
+	m := MustNewModel(tinyConfig(7))
+	opt := DefaultTrainOptions()
+	opt.Epochs = 3
+	if _, err := Train(m, []*Graph{g}, [][]int{g.Labels}, opt); err != nil {
+		t.Fatal(err)
+	}
+	return m, g
+}
+
+func TestCheckpointModelRoundTrip(t *testing.T) {
+	m, g := trainTiny(t)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, ok := pred.(*Model)
+	if !ok {
+		t.Fatalf("loaded %T, want *Model", pred)
+	}
+	want, got := m.PredictProbs(g), m2.PredictProbs(g)
+	for v := range want {
+		if want[v] != got[v] {
+			t.Fatalf("node %d: prob %g != %g after round trip", v, got[v], want[v])
+		}
+	}
+}
+
+func TestCheckpointMultiStageRoundTripFile(t *testing.T) {
+	m, g := trainTiny(t)
+	ms := &MultiStage{Stages: []*Model{m, m.Clone()}, FilterBelow: 0.25}
+	path := filepath.Join(t.TempDir(), "ckpt.gob")
+	if err := SaveCheckpointFile(path, ms); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms2, ok := pred.(*MultiStage)
+	if !ok {
+		t.Fatalf("loaded %T, want *MultiStage", pred)
+	}
+	if len(ms2.Stages) != 2 || ms2.FilterBelow != 0.25 {
+		t.Fatalf("stages=%d filter=%g", len(ms2.Stages), ms2.FilterBelow)
+	}
+	want, got := ms.PredictProbs(g), ms2.PredictProbs(g)
+	for v := range want {
+		if want[v] != got[v] {
+			t.Fatalf("node %d: prob %g != %g after round trip", v, got[v], want[v])
+		}
+	}
+}
+
+func TestLoadCheckpointFileLegacyFallback(t *testing.T) {
+	m, g := trainTiny(t)
+	ms := &MultiStage{Stages: []*Model{m}, FilterBelow: 0.3}
+	path := filepath.Join(t.TempDir(), "model.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Save(f); err != nil { // the legacy gcntest-train format
+		t.Fatal(err)
+	}
+	f.Close()
+	pred, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms2, ok := pred.(*MultiStage)
+	if !ok {
+		t.Fatalf("loaded %T, want *MultiStage", pred)
+	}
+	want, got := ms.PredictProbs(g), ms2.PredictProbs(g)
+	for v := range want {
+		if want[v] != got[v] {
+			t.Fatalf("node %d: prob %g != %g via legacy fallback", v, got[v], want[v])
+		}
+	}
+}
+
+func TestLoadCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := LoadCheckpoint(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatal("garbage stream loaded without error")
+	}
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("junk bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpointFile(path); err == nil {
+		t.Fatal("garbage file loaded without error")
+	}
+}
+
+func TestSaveCheckpointRejectsUnknownPredictor(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, nil); err == nil {
+		t.Fatal("nil predictor saved without error")
+	}
+	if err := SaveCheckpoint(&buf, &MultiStage{}); err == nil {
+		t.Fatal("empty cascade saved without error")
+	}
+}
+
+func TestClonePredictorIsolation(t *testing.T) {
+	m, g := trainTiny(t)
+	clone := ClonePredictor(m).(*Model)
+	if clone == m {
+		t.Fatal("ClonePredictor returned the original model")
+	}
+	want := m.PredictProbs(g)
+	got := clone.PredictProbs(g)
+	for v := range want {
+		if want[v] != got[v] {
+			t.Fatalf("node %d: clone prob %g != %g", v, got[v], want[v])
+		}
+	}
+	// Perturbing the clone must not affect the original.
+	clone.Params()[0].Data[0] += 1
+	again := m.PredictProbs(g)
+	for v := range want {
+		if want[v] != again[v] {
+			t.Fatalf("node %d: original changed after clone perturbation", v)
+		}
+	}
+
+	ms := &MultiStage{Stages: []*Model{m}, FilterBelow: 0.25}
+	if ClonePredictor(ms).(*MultiStage) == ms {
+		t.Fatal("ClonePredictor returned the original cascade")
+	}
+}

@@ -163,6 +163,19 @@ func stageWeight(remaining, positives int) float64 {
 	return ratio
 }
 
+// Clone returns a cascade with the same filter threshold and per-stage
+// architecture, with copied parameter values and fresh scratch state.
+// Like (*Model).Clone it exists for consumers that need concurrent
+// inference — a MultiStage is not safe for concurrent use because its
+// stages are not.
+func (ms *MultiStage) Clone() *MultiStage {
+	c := &MultiStage{FilterBelow: ms.FilterBelow}
+	for _, s := range ms.Stages {
+		c.Stages = append(c.Stages, s.Clone())
+	}
+	return c
+}
+
 // Predict runs the cascade on a graph: every non-final stage removes the
 // nodes it is confident are negative, and the final stage classifies the
 // survivors at the usual 0.5 threshold. Returns a 0/1 label per node.

@@ -75,6 +75,17 @@ func (g *Gauge) Set(v int64) {
 	g.v.Store(v)
 }
 
+// Add adjusts the gauge by delta (which may be negative) while
+// instrumentation is enabled. It exists for level-style gauges that rise
+// and fall with concurrent activity — e.g. in-flight request or queue
+// depth counts — where concurrent Set calls would lose updates.
+func (g *Gauge) Add(delta int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Add(delta)
+}
+
 // Value returns the last set value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 

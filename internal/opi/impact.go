@@ -31,7 +31,9 @@ func ExactImpact(n *netlist.Netlist, meas *scoap.Measures, g *core.Graph,
 	n2 := n.Clone()
 	meas2 := meas.Clone()
 	g2 := g.Clone()
-	insertAndRefresh(n2, meas2, g2, candidate, n2.Levels())
+	if _, _, err := InsertAndRefresh(n2, meas2, g2, candidate, n2.Levels()); err != nil {
+		return 0 // uninsertable candidate has no impact
+	}
 	after := pred.PredictProbs(g2)
 
 	countPos := func(probs []float64) int {

@@ -201,7 +201,12 @@ func RunFlow(n *netlist.Netlist, meas *scoap.Measures, g *core.Graph, pred Predi
 		// new OP's level after each insertion to stay index-aligned.
 		lv := append([]int32(nil), n.Levels()...)
 		for _, v := range selected {
-			_, touched := insertAndRefresh(n, meas, g, v, lv)
+			_, touched, err := InsertAndRefresh(n, meas, g, v, lv)
+			if err != nil {
+				// selected only contains insertable nodes, so this is a
+				// programming error, not an input error.
+				panic(err)
+			}
 			lv = append(lv, lv[v]+1)
 			if incremental {
 				dirty = append(dirty, touched...)
@@ -298,21 +303,30 @@ func selectByImpact(n *netlist.Netlist, positives map[int32]bool, cfg FlowConfig
 	return selected
 }
 
-// insertAndRefresh performs one observation point insertion with all
+// InsertAndRefresh performs one observation point insertion with all
 // incremental updates: netlist node+edge, SCOAP fan-in-cone relaxation,
 // COO adjacency tuples and attribute rows of affected nodes. lv holds
 // the logic levels of the pre-existing nodes (hoisted out of the
 // per-insertion path: levels of existing nodes are unaffected by an OP).
 // It returns the new OP node and the nodes whose attribute rows actually
-// changed — the dirty set for cached-embedding inference. An OP changes
-// only observability (never controllability or levels), the SCOAP
-// relaxation reports exactly the cells it improved, and clamping
-// collapses many raw improvements to the same attribute value, so the
-// dirty set is typically far smaller than the fan-in cone.
-func insertAndRefresh(n *netlist.Netlist, meas *scoap.Measures, g *core.Graph, target int32, lv []int32) (int32, []int32) {
+// changed — the dirty set for cached-embedding inference (the slice to
+// hand core.IncrementalRun.Update). An OP changes only observability
+// (never controllability or levels), the SCOAP relaxation reports
+// exactly the cells it improved, and clamping collapses many raw
+// improvements to the same attribute value, so the dirty set is
+// typically far smaller than the fan-in cone.
+//
+// The error is non-nil only when target cannot legally receive an
+// observation point (e.g. it is an Input, Output or Obs cell); nothing
+// has been mutated in that case. It is exported for consumers that
+// replay edit deltas against a cached (netlist, measures, graph,
+// incremental-run) bundle — the serving layer's /v1/score/delta path —
+// so that every caller applies the exact same insertion recipe RunFlow
+// uses.
+func InsertAndRefresh(n *netlist.Netlist, meas *scoap.Measures, g *core.Graph, target int32, lv []int32) (int32, []int32, error) {
 	op, err := n.InsertObservationPoint(target)
 	if err != nil {
-		panic(err)
+		return -1, nil, err
 	}
 	changed := meas.UpdateAfterObservationPoint(n, op)
 	g.AddObservationPoint(target)
@@ -325,7 +339,7 @@ func insertAndRefresh(n *netlist.Netlist, meas *scoap.Measures, g *core.Graph, t
 			dirty = append(dirty, u)
 		}
 	}
-	return op, dirty
+	return op, dirty, nil
 }
 
 func clampCO(co int32) float64 {

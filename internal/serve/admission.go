@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errShed is returned by admission.acquire when the waiting queue is
+// already at capacity; handlers translate it to 429 + Retry-After.
+var errShed = errors.New("serve: admission queue full")
+
+// admission is the bounded two-level admission controller: up to
+// maxConcurrent requests hold execution slots, up to maxQueue more wait
+// for one, and everything beyond that is shed immediately. Shedding
+// instead of queueing without bound keeps tail latency flat under
+// overload — a request that would wait behind an unbounded queue is
+// better rejected at once with Retry-After.
+type admission struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	inflight atomic.Int64
+	maxQueue int64
+}
+
+func newAdmission(maxConcurrent, maxQueue int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// acquire obtains an execution slot, waiting in the bounded queue if
+// necessary. It returns errShed when the queue is full and ctx.Err()
+// when the request deadline expires while waiting.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		mInflight.Add(1)
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		mShed.Inc()
+		return errShed
+	}
+	mQueueDepth.Add(1)
+	defer func() {
+		a.queued.Add(-1)
+		mQueueDepth.Add(-1)
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		mInflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		mDeadline.Inc()
+		return ctx.Err()
+	}
+}
+
+// release returns an execution slot obtained by acquire.
+func (a *admission) release() {
+	a.inflight.Add(-1)
+	mInflight.Add(-1)
+	<-a.slots
+}

@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmissionShedsBeyondQueue(t *testing.T) {
+	a := newAdmission(1, 1)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue...
+	waiting := make(chan error, 1)
+	go func() { waiting <- a.acquire(context.Background()) }()
+	waitUntil(t, 5*time.Second, func() bool { return a.queued.Load() == 1 })
+	// ...and the next is shed immediately.
+	if err := a.acquire(context.Background()); !errors.Is(err, errShed) {
+		t.Fatalf("err=%v, want errShed", err)
+	}
+	a.release()
+	if err := <-waiting; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	a.release()
+}
+
+func TestAdmissionHonorsDeadlineInQueue(t *testing.T) {
+	a := newAdmission(1, 4)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := a.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v, want deadline exceeded", err)
+	}
+	a.release()
+}
+
+func TestAdmissionInflightAccounting(t *testing.T) {
+	a := newAdmission(2, 2)
+	ctx := context.Background()
+	a.acquire(ctx)
+	a.acquire(ctx)
+	if got := a.inflight.Load(); got != 2 {
+		t.Fatalf("inflight=%d, want 2", got)
+	}
+	a.release()
+	a.release()
+	if got := a.inflight.Load(); got != 0 {
+		t.Fatalf("inflight=%d, want 0", got)
+	}
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// flightGroup coalesces concurrent identical work: while a compile for
+// one design hash is in flight, every other request for the same hash
+// waits for the leader's result instead of compiling (and running the
+// forward pass) again. This is the request batcher of the serving
+// layer — N concurrent /v1/score calls for the same netlist cost one
+// netlist parse, one SCOAP analysis and one SpMM forward call, not N.
+//
+// It is a hand-rolled single-flight (the repository is stdlib-only);
+// unlike typical implementations the wait is deadline-aware: a rider
+// whose context expires stops waiting and reports the deadline error
+// while the leader's work continues for the benefit of the others.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// flightCall is one in-flight execution and its eventual result.
+type flightCall struct {
+	done chan struct{}
+	val  *design
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: map[string]*flightCall{}}
+}
+
+// do executes fn once per key among concurrent callers. The first caller
+// (the leader) runs fn synchronously; concurrent callers with the same
+// key (riders) block until the leader finishes or their context expires.
+// The boolean result reports whether this caller was the leader.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*design, error)) (*design, bool, error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		mBatchCoalesced.Inc()
+		select {
+		case <-c.done:
+			return c.val, false, c.err
+		case <-ctx.Done():
+			mDeadline.Inc()
+			return nil, false, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	mBatchLeaders.Inc()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = fmt.Errorf("serve: compile panic: %v", r)
+			}
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		c.val, c.err = fn()
+	}()
+	return c.val, true, c.err
+}

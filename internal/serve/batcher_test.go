@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBatcherCoalescesConcurrentScores is the batching contract: N
+// concurrent score requests for the same netlist cost one forward pass
+// and return scores identical to the serial (batching-disabled) path.
+func TestBatcherCoalescesConcurrentScores(t *testing.T) {
+	const n = 8
+	stub := &stubPredictor{started: make(chan struct{}, 1), release: make(chan struct{})}
+	_, ts := newTestServer(t, Options{Predictor: stub, MaxConcurrent: n, MaxQueue: n})
+
+	coalescedBefore := mBatchCoalesced.Value()
+	responses := make([]ScoreResponse, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if code := postJSON(t, ts.URL+"/v1/score", ScoreRequest{Netlist: tinyBench}, &responses[i]); code != 200 {
+				t.Errorf("request %d: status %d", i, code)
+			}
+		}(i)
+	}
+	// The leader is parked inside the forward pass; wait until the other
+	// n-1 requests have provably joined its flight, then let it finish.
+	<-stub.started
+	waitUntil(t, 10*time.Second, func() bool {
+		return mBatchCoalesced.Value()-coalescedBefore >= n-1
+	})
+	close(stub.release)
+	wg.Wait()
+
+	if f := stub.forwards.Load(); f != 1 {
+		t.Fatalf("%d concurrent requests ran %d forward passes, want 1", n, f)
+	}
+
+	// Identical scores to the serial path: a batching-free, cache-free
+	// server answering the same request.
+	serialStub := &stubPredictor{}
+	_, serialTS := newTestServer(t, Options{
+		Predictor: serialStub, DisableBatching: true, CacheEntries: -1,
+	})
+	var serial ScoreResponse
+	if code := postJSON(t, serialTS.URL+"/v1/score", ScoreRequest{Netlist: tinyBench}, &serial); code != 200 {
+		t.Fatalf("serial status %d", code)
+	}
+	for i := range responses {
+		if responses[i].Design != serial.Design {
+			t.Fatalf("request %d: design %q != serial %q", i, responses[i].Design, serial.Design)
+		}
+		if len(responses[i].Scores) != len(serial.Scores) {
+			t.Fatalf("request %d: %d scores != serial %d", i, len(responses[i].Scores), len(serial.Scores))
+		}
+		for v := range serial.Scores {
+			if responses[i].Scores[v] != serial.Scores[v] {
+				t.Fatalf("request %d node %d: %g != serial %g",
+					i, v, responses[i].Scores[v], serial.Scores[v])
+			}
+		}
+	}
+}
+
+// TestSerialPathRunsOneForwardPerRequest pins down what DisableBatching
+// + disabled cache mean: every request pays its own compile.
+func TestSerialPathRunsOneForwardPerRequest(t *testing.T) {
+	stub := &stubPredictor{}
+	_, ts := newTestServer(t, Options{Predictor: stub, DisableBatching: true, CacheEntries: -1})
+	for i := 0; i < 3; i++ {
+		if code := postJSON(t, ts.URL+"/v1/score", ScoreRequest{Netlist: tinyBench}, nil); code != 200 {
+			t.Fatalf("status %d", code)
+		}
+	}
+	if f := stub.forwards.Load(); f != 3 {
+		t.Fatalf("3 serial requests ran %d forwards, want 3", f)
+	}
+}
+
+// TestFlightGroupLeaderPanicDoesNotWedge ensures a panicking compile
+// releases riders with an error instead of deadlocking the key.
+func TestFlightGroupLeaderPanicDoesNotWedge(t *testing.T) {
+	g := newFlightGroup()
+	_, _, err := g.do(context.Background(), "k", func() (*design, error) { panic("boom") })
+	if err == nil {
+		t.Fatal("panic swallowed")
+	}
+	// The key must be reusable afterwards.
+	d, leader, err := g.do(context.Background(), "k", func() (*design, error) { return &design{id: "k"}, nil })
+	if err != nil || !leader || d.id != "k" {
+		t.Fatalf("d=%v leader=%v err=%v", d, leader, err)
+	}
+}

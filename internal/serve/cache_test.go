@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	stub := &stubPredictor{}
+	s, ts := newTestServer(t, Options{Predictor: stub, CacheEntries: 2})
+
+	var first, second, third ScoreResponse
+	postJSON(t, ts.URL+"/v1/score", ScoreRequest{Netlist: tinyBench}, &first)
+	postJSON(t, ts.URL+"/v1/score", ScoreRequest{Netlist: otherBench}, &second)
+	postJSON(t, ts.URL+"/v1/score", ScoreRequest{Netlist: thirdBench}, &third)
+
+	if got := s.CachedDesigns(); got != 2 {
+		t.Fatalf("cache holds %d designs, want 2", got)
+	}
+
+	// The oldest design was evicted: a delta against it is a 404 and
+	// rescoring it recompiles (cached=false, one more forward).
+	body, _ := json.Marshal(DeltaRequest{Design: first.Design, Observe: []int32{2}})
+	resp, err := http.Post(ts.URL+"/v1/score/delta", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 404 || errCategory(t, resp) != ErrNotFound {
+		t.Fatalf("evicted design delta: status %d", resp.StatusCode)
+	}
+	forwards := stub.forwards.Load()
+	var re ScoreResponse
+	postJSON(t, ts.URL+"/v1/score", ScoreRequest{Netlist: tinyBench}, &re)
+	if re.Cached {
+		t.Fatal("evicted design served as cached")
+	}
+	if stub.forwards.Load() != forwards+1 {
+		t.Fatal("rescore of evicted design did not recompile")
+	}
+
+	// The most recent two stayed warm.
+	var again ScoreResponse
+	postJSON(t, ts.URL+"/v1/score", ScoreRequest{Netlist: thirdBench}, &again)
+	if !again.Cached {
+		t.Fatal("recently used design was evicted")
+	}
+}
+
+// TestCacheLRUTouchOnHit verifies hits refresh recency: after touching
+// the oldest of two entries, inserting a third evicts the middle one.
+func TestCacheLRUTouchOnHit(t *testing.T) {
+	_, ts := newTestServer(t, Options{Predictor: &stubPredictor{}, CacheEntries: 2})
+	postJSON(t, ts.URL+"/v1/score", ScoreRequest{Netlist: tinyBench}, nil)
+	postJSON(t, ts.URL+"/v1/score", ScoreRequest{Netlist: otherBench}, nil)
+	postJSON(t, ts.URL+"/v1/score", ScoreRequest{Netlist: tinyBench}, nil)  // touch oldest
+	postJSON(t, ts.URL+"/v1/score", ScoreRequest{Netlist: thirdBench}, nil) // evicts otherBench
+
+	var tiny ScoreResponse
+	postJSON(t, ts.URL+"/v1/score", ScoreRequest{Netlist: tinyBench}, &tiny)
+	if !tiny.Cached {
+		t.Fatal("touched design was evicted")
+	}
+	var other ScoreResponse
+	postJSON(t, ts.URL+"/v1/score", ScoreRequest{Netlist: otherBench}, &other)
+	if other.Cached {
+		t.Fatal("least recently used design survived past capacity")
+	}
+}
+
+// TestCacheHashCollisionSafety forces every design onto one cache key
+// and proves correctness does not rest on the hash: the stored netlist
+// text is compared on lookup, so a colliding request recompiles instead
+// of serving another design's scores.
+func TestCacheHashCollisionSafety(t *testing.T) {
+	s, ts := newTestServer(t, Options{Predictor: &stubPredictor{}})
+	s.cache.hasher = func([]byte) string { return "collision" } // test-only hook
+
+	collisionsBefore := mCacheCollisions.Value()
+	var a, b ScoreResponse
+	postJSON(t, ts.URL+"/v1/score", ScoreRequest{Netlist: tinyBench}, &a)
+	postJSON(t, ts.URL+"/v1/score", ScoreRequest{Netlist: otherBench}, &b)
+
+	if b.Cached {
+		t.Fatal("colliding design served from another design's cache entry")
+	}
+	wantB := expectedScores(t, otherBench)
+	if len(b.Scores) != len(wantB) {
+		t.Fatalf("got %d scores, want %d", len(b.Scores), len(wantB))
+	}
+	for v := range wantB {
+		if b.Scores[v] != wantB[v] {
+			t.Fatalf("node %d: colliding request returned %g, want %g", v, b.Scores[v], wantB[v])
+		}
+	}
+	if mCacheCollisions.Value() == collisionsBefore {
+		t.Fatal("collision not counted")
+	}
+}
+
+func TestDeltaIDDeterministicAndDistinct(t *testing.T) {
+	a := deltaID("base", []int32{1, 2})
+	if a != deltaID("base", []int32{1, 2}) {
+		t.Fatal("deltaID not deterministic")
+	}
+	for _, other := range []string{
+		deltaID("base", []int32{2, 1}),
+		deltaID("base", []int32{1}),
+		deltaID("other", []int32{1, 2}),
+		"base",
+	} {
+		if a == other {
+			t.Fatalf("deltaID collision with %q", other)
+		}
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	stub := &stubPredictor{}
+	s, ts := newTestServer(t, Options{Predictor: stub, CacheEntries: -1})
+	var resp ScoreResponse
+	postJSON(t, ts.URL+"/v1/score", ScoreRequest{Netlist: tinyBench}, &resp)
+	if s.CachedDesigns() != 0 {
+		t.Fatal("disabled cache stored a design")
+	}
+	// Every id is unknown to the delta path.
+	body, _ := json.Marshal(DeltaRequest{Design: resp.Design, Observe: []int32{2}})
+	hresp, err := http.Post(ts.URL+"/v1/score/delta", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != 404 {
+		t.Fatalf("delta on uncached design: status %d", hresp.StatusCode)
+	}
+}

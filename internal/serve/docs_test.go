@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/scoap"
+)
+
+// replayCall is one documented request extracted from docs/SERVING.md: a
+// fenced JSON block tagged with an HTML comment of the form
+// <!-- replay: METHOD /path -->.
+type replayCall struct {
+	method, path, body string
+	line               int
+}
+
+// parseReplays extracts the tagged request blocks from markdown source,
+// in document order.
+func parseReplays(t *testing.T, doc string) []replayCall {
+	t.Helper()
+	const tag = "<!-- replay: "
+	var calls []replayCall
+	lines := strings.Split(doc, "\n")
+	for i := 0; i < len(lines); i++ {
+		trimmed := strings.TrimSpace(lines[i])
+		if !strings.HasPrefix(trimmed, tag) {
+			continue
+		}
+		spec := strings.TrimSuffix(strings.TrimPrefix(trimmed, tag), " -->")
+		method, path, ok := strings.Cut(spec, " ")
+		if !ok {
+			t.Fatalf("line %d: malformed replay tag %q", i+1, trimmed)
+		}
+		// The tag must be immediately followed by a ```json fence (blank
+		// lines allowed), whose content is the exact request body.
+		j := i + 1
+		for j < len(lines) && strings.TrimSpace(lines[j]) == "" {
+			j++
+		}
+		if j >= len(lines) || strings.TrimSpace(lines[j]) != "```json" {
+			t.Fatalf("line %d: replay tag %q not followed by a ```json block", i+1, trimmed)
+		}
+		var body []string
+		for j++; j < len(lines); j++ {
+			if strings.TrimSpace(lines[j]) == "```" {
+				break
+			}
+			body = append(body, lines[j])
+		}
+		calls = append(calls, replayCall{
+			method: method, path: path,
+			body: strings.Join(body, "\n"),
+			line: i + 1,
+		})
+		i = j
+	}
+	return calls
+}
+
+// TestServingDocsReplay is the end-to-end demo from docs/SERVING.md: it
+// sends every documented request verbatim against a live server (with a
+// real model, not a stub) in document order, substituting $DESIGN with
+// the design id returned by the most recent response. Beyond status
+// codes, the first score response is checked for exact agreement with
+// the predictor run directly — the docs cannot drift from the server
+// without this test failing.
+func TestServingDocsReplay(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/SERVING.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := parseReplays(t, string(doc))
+	if len(calls) < 4 {
+		t.Fatalf("found %d replayable requests in SERVING.md, want at least 4 (score, delta, opi, healthz)", len(calls))
+	}
+
+	pred := core.MustNewModel(core.DefaultConfig())
+	_, ts := newTestServer(t, Options{Predictor: pred})
+	client := ts.Client()
+
+	lastDesign := ""
+	for _, c := range calls {
+		body := strings.ReplaceAll(c.body, "$DESIGN", lastDesign)
+		var resp *http.Response
+		var err error
+		switch c.method {
+		case "GET":
+			resp, err = client.Get(ts.URL + c.path)
+		case "POST":
+			resp, err = client.Post(ts.URL+c.path, "application/json", strings.NewReader(body))
+		default:
+			t.Fatalf("SERVING.md line %d: unsupported replay method %q", c.line, c.method)
+		}
+		if err != nil {
+			t.Fatalf("%s %s (SERVING.md line %d): %v", c.method, c.path, c.line, err)
+		}
+		raw, _ := readAll(t, resp)
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s %s (SERVING.md line %d): status %d, body %s",
+				c.method, c.path, c.line, resp.StatusCode, raw)
+		}
+
+		switch c.path {
+		case "/v1/score":
+			var sr ScoreResponse
+			if err := json.Unmarshal(raw, &sr); err != nil {
+				t.Fatalf("score response: %v", err)
+			}
+			checkDocScore(t, body, pred, sr)
+			lastDesign = sr.Design
+		case "/v1/score/delta":
+			var req DeltaRequest
+			if err := json.Unmarshal([]byte(body), &req); err != nil {
+				t.Fatalf("documented delta request is not valid JSON: %v", err)
+			}
+			var dr ScoreResponse
+			if err := json.Unmarshal(raw, &dr); err != nil {
+				t.Fatalf("delta response: %v", err)
+			}
+			if dr.Design == req.Design || dr.Design == "" {
+				t.Fatalf("delta did not re-key the design: %q -> %q", req.Design, dr.Design)
+			}
+			if want := len(req.Observe) + len(req.ObserveNames); len(dr.Inserted) != want {
+				t.Fatalf("delta inserted %d points, want %d", len(dr.Inserted), want)
+			}
+			if !dr.Cached {
+				t.Fatal("delta response not marked cached")
+			}
+			lastDesign = dr.Design
+		case "/v1/opi":
+			var or OPIResponse
+			if err := json.Unmarshal(raw, &or); err != nil {
+				t.Fatalf("opi response: %v", err)
+			}
+			if or.Iterations < 1 {
+				t.Fatalf("opi ran %d iterations, want >= 1", or.Iterations)
+			}
+		case "/healthz":
+			var hr HealthResponse
+			if err := json.Unmarshal(raw, &hr); err != nil {
+				t.Fatalf("healthz response: %v", err)
+			}
+			if hr.Status != "ok" {
+				t.Fatalf("healthz status %q, want ok", hr.Status)
+			}
+		default:
+			t.Fatalf("SERVING.md line %d: replay tag for undocumented path %q", c.line, c.path)
+		}
+	}
+}
+
+// checkDocScore verifies the documented score request end to end: the
+// served scores must equal the predictor applied directly to the same
+// netlist, value for value. (JSON round-trips float64 exactly, so exact
+// comparison is sound.)
+func checkDocScore(t *testing.T, reqBody string, pred core.IncrementalPredictor, got ScoreResponse) {
+	t.Helper()
+	var req ScoreRequest
+	if err := json.Unmarshal([]byte(reqBody), &req); err != nil {
+		t.Fatalf("documented score request is not valid JSON: %v", err)
+	}
+	n, err := netlist.Read(strings.NewReader(req.Netlist))
+	if err != nil {
+		t.Fatalf("documented netlist does not parse: %v", err)
+	}
+	meas := scoap.Compute(n)
+	g := core.FromNetlist(n, meas)
+	want := pred.PredictProbs(g)
+	if got.Nodes != len(want) || len(got.Scores) != len(want) {
+		t.Fatalf("scored %d/%d nodes, want %d", got.Nodes, len(got.Scores), len(want))
+	}
+	for v := range want {
+		if got.Scores[v] != want[v] {
+			t.Fatalf("node %d: served score %g, direct predictor %g", v, got.Scores[v], want[v])
+		}
+	}
+	if got.Design == "" || got.Cached {
+		t.Fatalf("first score of a fresh design: design=%q cached=%v", got.Design, got.Cached)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) ([]byte, error) {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}

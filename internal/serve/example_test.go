@@ -1,0 +1,56 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// Example shows the client-side request flow against a serve.Server:
+// score a netlist, then use the returned design id to rescore
+// incrementally after inserting an observation point.
+func Example() {
+	srv, err := serve.New(serve.Options{Predictor: core.MustNewModel(core.DefaultConfig())})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const bench = "# tiny\nINPUT(a)\nINPUT(b)\ng1 = NAND(a, b)\ng2 = AND(g1, b)\nOUTPUT(g2)\n"
+
+	// Score the design. The response's design id is the handle for
+	// follow-up delta queries.
+	body, _ := json.Marshal(serve.ScoreRequest{Netlist: bench})
+	resp, err := http.Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var score serve.ScoreResponse
+	json.NewDecoder(resp.Body).Decode(&score)
+	resp.Body.Close()
+	fmt.Printf("scored %d nodes, cached=%v\n", score.Nodes, score.Cached)
+
+	// Observe g1 and rescore: the server applies the insertion to the
+	// cached design and refreshes only the affected embeddings.
+	body, _ = json.Marshal(serve.DeltaRequest{Design: score.Design, ObserveNames: []string{"g1"}})
+	resp, err = http.Post(ts.URL+"/v1/score/delta", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var delta serve.ScoreResponse
+	json.NewDecoder(resp.Body).Decode(&delta)
+	resp.Body.Close()
+	fmt.Printf("after delta: %d nodes, %d inserted, cached=%v\n",
+		delta.Nodes, len(delta.Inserted), delta.Cached)
+
+	// Output:
+	// scored 5 nodes, cached=false
+	// after delta: 6 nodes, 1 inserted, cached=true
+}

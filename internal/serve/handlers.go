@@ -1,0 +1,465 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/netlist"
+	"repro/internal/opi"
+	"repro/internal/scoap"
+)
+
+// errNoPredictor is returned by New when Options.Predictor is nil.
+var errNoPredictor = errors.New("serve: Options.Predictor is required")
+
+// requestError carries a client-facing category through the compile and
+// delta paths so one error value can select both status code and
+// envelope.
+type requestError struct {
+	category string
+	msg      string
+}
+
+func (e *requestError) Error() string { return e.msg }
+
+func badRequest(msg string) error { return &requestError{ErrInvalidRequest, msg} }
+
+// defaultThreshold is the difficult-to-observe cutoff when a request
+// leaves threshold unset, matching the paper's 0.5 decision boundary.
+const defaultThreshold = 0.5
+
+// requestContext derives the request deadline: the server default,
+// shortened (never lengthened) by the request's timeout_ms.
+func (s *Server) requestContext(r *http.Request, timeoutMs int64) (context.Context, context.CancelFunc) {
+	d := s.opts.DefaultTimeout
+	if timeoutMs > 0 {
+		if t := time.Duration(timeoutMs) * time.Millisecond; t < d {
+			d = t
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// decodeJSON parses the request body into v under the body-size cap,
+// writing the error response itself when it fails.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, ErrTooLarge, "request body exceeds limit")
+		} else {
+			writeError(w, ErrInvalidRequest, "invalid JSON body: "+err.Error())
+		}
+		return false
+	}
+	return true
+}
+
+// writeFailure maps an error from the admission/compile/delta paths to
+// its envelope.
+func writeFailure(w http.ResponseWriter, err error) {
+	var re *requestError
+	switch {
+	case errors.As(err, &re):
+		writeError(w, re.category, re.msg)
+	case errors.Is(err, errShed):
+		writeError(w, ErrOverloaded, "server at capacity; retry later")
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, ErrDeadlineExceeded, "request deadline exceeded")
+	default:
+		writeError(w, ErrInternal, err.Error())
+	}
+}
+
+// compile parses, analyzes and scores a netlist, producing a cached
+// design whose incremental session holds warm embeddings. This is the
+// expensive path — one SCOAP analysis plus one full SpMM forward — that
+// the cache and the batcher both exist to avoid repeating.
+func (s *Server) compile(ctx context.Context, id string, body []byte) (*design, error) {
+	if err := ctx.Err(); err != nil {
+		mDeadline.Inc()
+		return nil, err
+	}
+	n, err := netlist.Read(bytes.NewReader(body))
+	if err != nil {
+		return nil, badRequest("netlist parse: " + err.Error())
+	}
+	if err := n.Validate(); err != nil {
+		return nil, badRequest("netlist validate: " + err.Error())
+	}
+	meas := scoap.Compute(n)
+	g := core.FromNetlist(n, meas)
+	if err := ctx.Err(); err != nil {
+		mDeadline.Inc()
+		return nil, err
+	}
+	pred := core.ClonePredictor(s.opts.Predictor)
+	d := &design{
+		id:     id,
+		source: append([]byte(nil), body...),
+		net:    n,
+		meas:   meas,
+		g:      g,
+		pred:   pred,
+		run:    pred.NewIncremental(g), // the one full forward pass
+	}
+	s.cache.insert(d)
+	return d, nil
+}
+
+// scoreResponse snapshots a design's current scores into the wire shape
+// under the design lock.
+func (s *Server) scoreResponse(d *design, threshold float64, cached bool) ScoreResponse {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return ScoreResponse{
+		Design:    s.cache.idOf(d),
+		Nodes:     d.net.NumGates(),
+		Scores:    d.snapshotScores(),
+		Difficult: difficultList(d.net, d.run.Probs(), threshold),
+		Cached:    cached,
+	}
+}
+
+// difficultList collects the nodes at or above threshold, sorted by
+// descending score (ties by ascending id). Callers must hold the design
+// lock.
+func difficultList(n *netlist.Netlist, probs []float64, threshold float64) []NodeScore {
+	if threshold <= 0 {
+		threshold = defaultThreshold
+	}
+	out := []NodeScore{}
+	for v, p := range probs {
+		if p >= threshold {
+			out = append(out, NodeScore{ID: int32(v), Name: n.Gate(int32(v)).Name, Score: p})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// handleScore implements POST /v1/score: full-netlist scoring through
+// the cache and the single-flight batcher.
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	mScoreRequests.Inc()
+	defer func() { mScoreLatency.Observe(time.Since(start).Nanoseconds()) }()
+
+	var req ScoreRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Netlist == "" {
+		writeError(w, ErrInvalidRequest, "netlist field is required")
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	if err := s.admit.acquire(ctx); err != nil {
+		writeFailure(w, err)
+		return
+	}
+	defer s.admit.release()
+
+	body := []byte(req.Netlist)
+	key := s.cache.hash(body)
+	if d, ok := s.cache.lookupSource(key, body); ok {
+		writeJSON(w, http.StatusOK, s.scoreResponse(d, req.Threshold, true))
+		return
+	}
+	var d *design
+	var err error
+	if s.opts.DisableBatching {
+		d, err = s.compile(ctx, key, body)
+	} else {
+		d, _, err = s.flight.do(ctx, key, func() (*design, error) {
+			return s.compile(ctx, key, body)
+		})
+	}
+	if err != nil {
+		writeFailure(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.scoreResponse(d, req.Threshold, false))
+}
+
+// handleDelta implements POST /v1/score/delta: observation-point edits
+// applied to a cached design, rescored through the incremental session
+// at D-hop-bounded cost. The design is re-keyed to a new id; the old id
+// stops resolving (each id names one immutable design state).
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	mDeltaRequests.Inc()
+	defer func() { mDeltaLatency.Observe(time.Since(start).Nanoseconds()) }()
+
+	var req DeltaRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Design == "" {
+		writeError(w, ErrNotFound, "design field is required")
+		return
+	}
+	if len(req.Observe) == 0 && len(req.ObserveNames) == 0 {
+		writeError(w, ErrInvalidRequest, "delta contains no edits (observe / observe_names)")
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	if err := s.admit.acquire(ctx); err != nil {
+		writeFailure(w, err)
+		return
+	}
+	defer s.admit.release()
+
+	d, ok := s.cache.lookupID(req.Design)
+	if !ok {
+		writeError(w, ErrNotFound, "unknown design id "+req.Design)
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s.cache.idOf(d) != req.Design {
+		// A concurrent delta advanced this design between lookup and
+		// lock; the state the caller referenced no longer exists.
+		writeError(w, ErrNotFound, "design id "+req.Design+" superseded by a newer delta")
+		return
+	}
+
+	targets, err := resolveTargets(d.net, req.Observe, req.ObserveNames)
+	if err != nil {
+		writeFailure(w, err)
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		mDeadline.Inc()
+		writeFailure(w, err)
+		return
+	}
+
+	// The exact insertion recipe of the opi flow: netlist node + edge,
+	// SCOAP cone relaxation, COO appends, attribute refresh — then one
+	// incremental update over the combined dirty set. Levels are hoisted
+	// (an OP never changes an existing node's level) and extended per
+	// insertion to stay index-aligned.
+	lv := append([]int32(nil), d.net.Levels()...)
+	var dirty []int32
+	for _, t := range targets {
+		_, touched, err := opi.InsertAndRefresh(d.net, d.meas, d.g, t, lv)
+		if err != nil {
+			// resolveTargets vetted every target, so nothing was mutated
+			// for this one; report it without applying the rest.
+			writeFailure(w, badRequest("observe "+itoa32(t)+": "+err.Error()))
+			return
+		}
+		lv = append(lv, lv[t]+1)
+		dirty = append(dirty, touched...)
+	}
+	d.run.Update(d.g, dirty) // appended OP nodes are implicitly dirty
+
+	newID := deltaID(req.Design, targets)
+	s.cache.rekey(req.Design, newID, d)
+
+	probs := d.run.Probs()
+	inserted := make([]NodeScore, len(targets))
+	for i, t := range targets {
+		inserted[i] = NodeScore{ID: t, Name: d.net.Gate(t).Name, Score: probs[t]}
+	}
+	writeJSON(w, http.StatusOK, ScoreResponse{
+		Design:    newID,
+		Nodes:     d.net.NumGates(),
+		Scores:    d.snapshotScores(),
+		Difficult: difficultList(d.net, probs, req.Threshold),
+		Cached:    true,
+		Updated:   len(dirty),
+		Inserted:  inserted,
+	})
+}
+
+// resolveTargets validates and merges a delta's id- and name-addressed
+// targets. Every target must exist and be insertable (not an Input,
+// Output or Obs cell).
+func resolveTargets(n *netlist.Netlist, ids []int32, names []string) ([]int32, error) {
+	targets := make([]int32, 0, len(ids)+len(names))
+	for _, t := range ids {
+		if t < 0 || int(t) >= n.NumGates() {
+			return nil, badRequest("observe target " + itoa32(t) + " out of range")
+		}
+		targets = append(targets, t)
+	}
+	for _, name := range names {
+		t, ok := n.IDByName(name)
+		if !ok {
+			return nil, badRequest("observe target " + name + " not found")
+		}
+		targets = append(targets, t)
+	}
+	for _, t := range targets {
+		switch n.Type(t) {
+		case netlist.Input, netlist.Output, netlist.Obs:
+			return nil, badRequest("observe target " + itoa32(t) + " is a " +
+				n.Type(t).String() + " cell and cannot take an observation point")
+		}
+	}
+	return targets, nil
+}
+
+// handleOPI implements POST /v1/opi: run the GCN-guided insertion flow
+// on a private copy of a submitted or cached design and return the
+// suggested observation points. The cached design itself is never
+// mutated; apply the suggestions with /v1/score/delta to make them
+// stick.
+func (s *Server) handleOPI(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	mOPIRequests.Inc()
+	defer func() { mOPILatency.Observe(time.Since(start).Nanoseconds()) }()
+
+	var req OPIRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if (req.Netlist == "") == (req.Design == "") {
+		writeError(w, ErrInvalidRequest, "exactly one of netlist and design must be set")
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	if err := s.admit.acquire(ctx); err != nil {
+		writeFailure(w, err)
+		return
+	}
+	defer s.admit.release()
+
+	// Obtain a private (netlist, measures, graph) copy to mutate.
+	var d *design
+	if req.Netlist != "" {
+		body := []byte(req.Netlist)
+		key := s.cache.hash(body)
+		var ok bool
+		if d, ok = s.cache.lookupSource(key, body); !ok {
+			var err error
+			d, _, err = s.flight.do(ctx, key, func() (*design, error) {
+				return s.compile(ctx, key, body)
+			})
+			if err != nil {
+				writeFailure(w, err)
+				return
+			}
+		}
+	} else {
+		var ok bool
+		if d, ok = s.cache.lookupID(req.Design); !ok {
+			writeError(w, ErrNotFound, "unknown design id "+req.Design)
+			return
+		}
+	}
+	d.mu.Lock()
+	baseID := s.cache.idOf(d)
+	n := d.net.Clone()
+	meas := d.meas.Clone()
+	g := d.g.Clone()
+	d.mu.Unlock()
+
+	// Check out a predictor replica; admission bounds concurrent holders
+	// to the pool size, so this only blocks on deadline expiry.
+	var pred core.IncrementalPredictor
+	select {
+	case pred = <-s.pool:
+	case <-ctx.Done():
+		mDeadline.Inc()
+		writeFailure(w, ctx.Err())
+		return
+	}
+	defer func() { s.pool <- pred }()
+
+	maxPoints := req.MaxPoints
+	if maxPoints <= 0 {
+		maxPoints = 64
+	}
+	var before *float64
+	if req.Evaluate {
+		v := evaluateCoverage(n, req.Patterns)
+		before = &v
+	}
+	probs0 := pred.PredictProbs(g) // pre-flow scores for the suggestions
+	res := opi.RunFlow(n, meas, g, pred, opi.FlowConfig{
+		Threshold:     req.Threshold,
+		PerIteration:  req.PerIteration,
+		MaxInsertions: maxPoints,
+	})
+	if err := ctx.Err(); err != nil {
+		mDeadline.Inc()
+		writeFailure(w, err)
+		return
+	}
+	var after *float64
+	if req.Evaluate {
+		v := evaluateCoverage(n, req.Patterns)
+		after = &v
+	}
+
+	points := make([]NodeScore, len(res.Targets))
+	for i, t := range res.Targets {
+		score := 0.0
+		if int(t) < len(probs0) {
+			score = probs0[t]
+		}
+		points[i] = NodeScore{ID: t, Name: n.Gate(t).Name, Score: score}
+	}
+	resp := OPIResponse{
+		Points:         points,
+		Iterations:     res.Iterations,
+		FinalPositives: res.FinalPositives,
+		CoverageBefore: before,
+		CoverageAfter:  after,
+	}
+	if req.Design != "" {
+		resp.Design = baseID
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// evaluateCoverage fault-simulates the netlist with a bounded random
+// pattern budget and returns stuck-at coverage.
+func evaluateCoverage(n *netlist.Netlist, patterns int) float64 {
+	if patterns <= 0 {
+		patterns = 2048
+	}
+	return opi.Evaluate(n, fault.TPGConfig{MaxPatterns: patterns}).Coverage
+}
+
+// handleHealth implements GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	resp := HealthResponse{
+		Status:        "ok",
+		Model:         s.opts.ModelInfo,
+		UptimeMs:      time.Since(s.start).Milliseconds(),
+		CachedDesigns: s.cache.len(),
+		Inflight:      s.admit.inflight.Load(),
+	}
+	status := http.StatusOK
+	if s.Draining() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// itoa32 formats an int32 target id for error messages.
+func itoa32(v int32) string {
+	return strconv.Itoa(int(v))
+}

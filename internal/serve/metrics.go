@@ -1,0 +1,40 @@
+package serve
+
+import "repro/internal/obs"
+
+// Serving-layer metrics (no-ops until obs.Enable; cmd/serve enables
+// instrumentation unconditionally). Keys are documented in
+// docs/OBSERVABILITY.md and exposed on the same /metrics + /snapshot mux
+// as every other subsystem.
+var (
+	// Per-endpoint request counts and wall-latency distributions.
+	mScoreRequests = obs.GetCounter("serve.score.requests")
+	mScoreLatency  = obs.GetHistogram("serve.score.latency_ns")
+	mDeltaRequests = obs.GetCounter("serve.delta.requests")
+	mDeltaLatency  = obs.GetHistogram("serve.delta.latency_ns")
+	mOPIRequests   = obs.GetCounter("serve.opi.requests")
+	mOPILatency    = obs.GetHistogram("serve.opi.latency_ns")
+
+	// Admission control: requests currently holding a slot, requests
+	// waiting for one, and the two ways a request fails to get one.
+	mInflight   = obs.GetGauge("serve.inflight")
+	mQueueDepth = obs.GetGauge("serve.queue_depth")
+	mShed       = obs.GetCounter("serve.shed")
+	mDeadline   = obs.GetCounter("serve.deadline_exceeded")
+
+	// Design cache: content-hash hits/misses, LRU evictions, and lookups
+	// whose stored netlist text did not match the request despite an
+	// equal hash (collision guard; see designCache).
+	mCacheHits       = obs.GetCounter("serve.cache.hits")
+	mCacheMisses     = obs.GetCounter("serve.cache.misses")
+	mCacheEvictions  = obs.GetCounter("serve.cache.evictions")
+	mCacheCollisions = obs.GetCounter("serve.cache.collisions")
+
+	// Batcher: compiles actually executed (leaders) vs requests that
+	// rode an in-flight identical compile (coalesced).
+	mBatchLeaders   = obs.GetCounter("serve.batch.leaders")
+	mBatchCoalesced = obs.GetCounter("serve.batch.coalesced")
+
+	// Error responses by coarse class.
+	mErrors = obs.GetCounter("serve.errors")
+)

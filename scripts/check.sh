@@ -17,7 +17,9 @@
 #   6. a short-budget fuzz smoke pass over every committed fuzz target,
 #      so the seed corpora keep executing and shallow crashers are
 #      caught pre-merge (FUZZTIME=0 skips, e.g. on slow CI)
-#   7. the bench-regression gate: cmd/benchcmp diffs the two most recent
+#   7. documentation hygiene: every relative markdown link resolves, and
+#      every package carries a doc comment
+#   8. the bench-regression gate: cmd/benchcmp diffs the two most recent
 #      committed BENCH_NNNN.json artifacts and fails on a regression
 #      beyond tolerance (generous, because artifacts may come from
 #      different machines; see docs/OBSERVABILITY.md)
@@ -37,8 +39,8 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go test -race ./internal/obs ./internal/core ./internal/sparse ./internal/fault ./internal/opi"
-go test -race ./internal/obs ./internal/core ./internal/sparse ./internal/fault ./internal/opi
+echo "== go test -race ./internal/obs ./internal/core ./internal/sparse ./internal/fault ./internal/opi ./internal/serve"
+go test -race ./internal/obs ./internal/core ./internal/sparse ./internal/fault ./internal/opi ./internal/serve
 
 echo "== go build ./... && go test ./..."
 go build ./...
@@ -64,6 +66,7 @@ check_cover fault 90
 check_cover sparse 80
 check_cover core 85
 check_cover nn 90
+check_cover serve 80
 
 if [ "$FUZZTIME" != "0" ]; then
     echo "== fuzz smoke (${FUZZTIME} per target; FUZZTIME=0 to skip)"
@@ -73,6 +76,38 @@ if [ "$FUZZTIME" != "0" ]; then
 else
     echo "== fuzz smoke skipped (FUZZTIME=0)"
 fi
+
+echo "== doc links (every relative markdown link resolves)"
+broken=0
+while IFS=: read -r file target; do
+    # Resolve the link relative to the markdown file's directory.
+    resolved="$(dirname "$file")/${target%%#*}"
+    if [ ! -e "$resolved" ]; then
+        echo "broken link in $file: $target" >&2
+        broken=1
+    fi
+done < <(
+    git ls-files '*.md' | while read -r f; do
+        grep -oE '\]\(([^)]+)\)' "$f" | sed -E 's/^\]\(//; s/\)$//' |
+        grep -vE '^(https?:|mailto:|#)' | sed "s|^|$f:|"
+    done
+)
+[ "$broken" -eq 0 ] || exit 1
+echo "   all relative links resolve"
+
+echo "== package doc comments (godoc coverage)"
+missing=0
+for dir in internal/* cmd/*; do
+    [ -d "$dir" ] || continue
+    # A package doc comment is a comment group immediately preceding a
+    # package clause in at least one file of the package.
+    if ! awk 'prev ~ /^(\/\/|\*\/|.*\*\/)/ && /^package / { found=1 } { prev=$0 } END { exit !found }' "$dir"/*.go 2>/dev/null; then
+        echo "missing package doc comment: $dir" >&2
+        missing=1
+    fi
+done
+[ "$missing" -eq 0 ] || exit 1
+echo "   every internal/* and cmd/* package documented"
 
 echo "== benchcmp (recorded performance trajectory)"
 benches=$(ls BENCH_*.json 2>/dev/null | sort | tail -2)
