@@ -56,6 +56,11 @@ type BenchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Seconds     float64 `json:"seconds_total"`
+	// GOMAXPROCS at measurement time. The parallel kernels and the
+	// latency-histogram-affecting serving benchmarks scale with it, so
+	// each result records the value it actually ran under (the header
+	// value only describes process start).
+	GOMAXPROCS int `json:"gomaxprocs"`
 }
 
 // BenchFile is the serialized artifact: environment identification plus
@@ -95,6 +100,7 @@ var tier1 = []struct {
 	{"OPIFlowIncremental", benchOPIFlowIncremental},
 	{"ServeScoreBatched", benchServeScoreBatched},
 	{"ServeScoreSerial", benchServeScoreSerial},
+	{"ObsHistogramObserve", benchObsHistogramObserve},
 }
 
 func main() {
@@ -155,6 +161,7 @@ func main() {
 				AllocsPerOp: r.AllocsPerOp(),
 				BytesPerOp:  r.AllocedBytesPerOp(),
 				Seconds:     r.T.Seconds(),
+				GOMAXPROCS:  runtime.GOMAXPROCS(0),
 			}
 			if k == 0 || sample.NsPerOp < res.NsPerOp {
 				res = sample
@@ -406,3 +413,22 @@ func serveScoreBench(b *testing.B, batched bool) {
 func benchServeScoreBatched(b *testing.B) { serveScoreBench(b, true) }
 
 func benchServeScoreSerial(b *testing.B) { serveScoreBench(b, false) }
+
+// benchObsHistogramObserve measures the quantile sketch's hot path: one
+// enabled Observe including the log-linear bucket-index computation that
+// /snapshot p50/p95/p99 and the /metrics buckets are derived from. Every
+// serving latency sample pays this cost.
+func benchObsHistogramObserve(b *testing.B) {
+	wasEnabled := obs.Enabled()
+	obs.Enable()
+	h := obs.GetHistogram("bench.quantile_sketch")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe((int64(i) * 2654435761) & (1<<30 - 1))
+	}
+	b.StopTimer()
+	if !wasEnabled {
+		obs.Disable()
+	}
+}

@@ -6,7 +6,8 @@
 //
 //	serve -model model.gob [-addr :8080] [-max-concurrent 4]
 //	      [-max-queue 64] [-timeout 30s] [-cache 32]
-//	      [-drain-timeout 30s]
+//	      [-drain-timeout 30s] [-access-log PATH] [-slow-ms 1000]
+//	      [-sample 16]
 //	serve -demo             # untrained paper-architecture model
 //
 // -model accepts both the self-describing checkpoint format
@@ -21,6 +22,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -50,6 +52,9 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-request deadline")
 	cacheEntries := fs.Int("cache", 32, "compiled-design LRU capacity (negative disables)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	accessLog := fs.String("access-log", "", `structured JSON access-log destination ("-" for stdout, empty disables)`)
+	slowMs := fs.Int("slow-ms", 1000, "slow-request threshold in ms; slow requests always log with phase breakdowns (0 disables)")
+	sample := fs.Int("sample", 16, "access-log sampling: log one in N fast requests (1 logs all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,17 +76,34 @@ func run(args []string) error {
 		return errors.New("one of -model or -demo is required")
 	}
 
-	// Live /metrics and /snapshot are part of the service contract, so
-	// instrumentation is always on.
+	// Live /metrics, /snapshot and /debug/requests are part of the
+	// service contract, so instrumentation is always on.
 	obs.Enable()
 
+	var logDst io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		logDst = os.Stdout
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("access log: %w", err)
+		}
+		defer f.Close()
+		logDst = f
+	}
+
 	srv, err := serve.New(serve.Options{
-		Predictor:      pred,
-		ModelInfo:      info,
-		MaxConcurrent:  *maxConcurrent,
-		MaxQueue:       *maxQueue,
-		DefaultTimeout: *timeout,
-		CacheEntries:   *cacheEntries,
+		Predictor:       pred,
+		ModelInfo:       info,
+		MaxConcurrent:   *maxConcurrent,
+		MaxQueue:        *maxQueue,
+		DefaultTimeout:  *timeout,
+		CacheEntries:    *cacheEntries,
+		AccessLog:       logDst,
+		AccessLogSample: *sample,
+		SlowRequest:     time.Duration(*slowMs) * time.Millisecond,
 	})
 	if err != nil {
 		return err

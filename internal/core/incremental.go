@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -94,6 +95,8 @@ func (m *Model) NewIncremental(g *Graph) IncrementalRun {
 // ForwardFull runs a complete inference pass and captures the state
 // needed for subsequent incremental updates.
 func (m *Model) ForwardFull(g *Graph) *IncrementalState {
+	span := obs.StartSpan("infer/full")
+	defer span.End()
 	st := &IncrementalState{}
 	_, cache := m.forward(g, true) // keep=true allocates private buffers
 	st.embeds = cache.embeds
@@ -123,6 +126,8 @@ func probsFromLogits(logits *tensor.Dense) []float64 {
 // MultiStage cascade — can refresh their own per-node state for exactly
 // the affected region.
 func (m *Model) UpdateIncremental(st *IncrementalState, g *Graph, dirty []int32) []int32 {
+	span := obs.StartSpan("infer/incremental")
+	defer span.End()
 	oldN := st.embeds[0].Rows
 	if g.N < oldN {
 		panic("core: graph shrank; incremental state invalid")

@@ -116,17 +116,20 @@ func SnapshotHandler() http.Handler {
 // by in-process tests of the cmd binaries).
 var defaultMuxOnce sync.Once
 
-// RegisterHTTP registers /metrics and /snapshot on mux; nil selects
-// http.DefaultServeMux (where net/http/pprof also registers, so one
-// -pprof listener serves profiles, metrics and snapshots together).
+// RegisterHTTP registers /metrics, /snapshot and /debug/requests on mux;
+// nil selects http.DefaultServeMux (where net/http/pprof also registers,
+// so one -pprof listener serves profiles, metrics, snapshots and the
+// request inspector together).
 func RegisterHTTP(mux *http.ServeMux) {
 	if mux == nil {
 		defaultMuxOnce.Do(func() {
 			http.Handle("/metrics", MetricsHandler())
 			http.Handle("/snapshot", SnapshotHandler())
+			http.Handle("/debug/requests", RequestsHandler())
 		})
 		return
 	}
 	mux.Handle("/metrics", MetricsHandler())
 	mux.Handle("/snapshot", SnapshotHandler())
+	mux.Handle("/debug/requests", RequestsHandler())
 }

@@ -36,7 +36,7 @@ func TestMetricsHandlerPrometheusText(t *testing.T) {
 			"repro_train_workers 4",
 			"# TYPE repro_opi_positives histogram",
 			`repro_opi_positives_bucket{le="3"} 1`,
-			`repro_opi_positives_bucket{le="31"} 2`, // cumulative
+			`repro_opi_positives_bucket{le="17"} 2`, // cumulative; 17 is its own log-linear bucket
 			`repro_opi_positives_bucket{le="+Inf"} 2`,
 			"repro_opi_positives_sum 20",
 			"repro_opi_positives_count 2",

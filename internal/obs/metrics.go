@@ -92,15 +92,55 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // Name returns the gauge's registered name.
 func (g *Gauge) Name() string { return g.name }
 
-// histBuckets is the number of power-of-two histogram buckets: bucket i
-// counts observations v with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i
-// (bucket 0 counts v == 0).
-const histBuckets = 65
+// The histogram buckets are log-linear (HDR-histogram style): each
+// power-of-two range [2^(k-1), 2^k) is subdivided into histSub linear
+// sub-buckets, and values below histSub land in their own exact bucket.
+// A quantile read off a bucket's upper bound therefore carries a
+// relative error of at most 1/histSub (6.25%), versus up to 2x for
+// plain power-of-two buckets — tight enough to publish p50/p95/p99
+// latencies straight from the snapshot.
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits // linear sub-buckets per power-of-two range
 
-// Histogram is a goroutine-safe power-of-two-bucket histogram for
+	// histBuckets covers v == 0..histSub-1 exactly plus histSub
+	// sub-buckets for each of the 58 remaining power-of-two ranges of an
+	// int64.
+	histBuckets = histSub + (63-histSubBits)*histSub
+)
+
+// bucketIndex maps a non-negative observation to its log-linear bucket.
+func bucketIndex(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	k := bits.Len64(uint64(v)) // v >= histSub ⇒ k >= histSubBits+1
+	shift := uint(k - 1 - histSubBits)
+	// v>>shift is in [histSub, 2*histSub); ranges pack contiguously.
+	return (k-histSubBits-1)*histSub + int(v>>shift)
+}
+
+// bucketUpper returns the inclusive upper bound of bucket idx (the value
+// reported as the Prometheus `le` bound and used for quantile reads).
+func bucketUpper(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	j := idx - histSub
+	shift := uint(j / histSub)
+	pos := uint64(j%histSub + histSub)
+	upper := (pos+1)<<shift - 1
+	if upper > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(upper)
+}
+
+// Histogram is a goroutine-safe log-linear-bucket histogram for
 // non-negative integer observations (iteration counts, batch sizes,
 // nanosecond durations). It tracks count, sum, min and max exactly and
-// the distribution at power-of-two resolution.
+// the distribution at <=6.25% relative resolution, so exact extremes and
+// bounded-error quantiles (p50/p95/p99) come from the same structure.
 type Histogram struct {
 	name    string
 	count   atomic.Int64
@@ -135,7 +175,7 @@ func (h *Histogram) Observe(v int64) {
 	}
 	h.count.Add(1)
 	h.sum.Add(v)
-	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.buckets[bucketIndex(v)].Add(1)
 	for {
 		cur := h.min.Load()
 		if v >= cur || h.min.CompareAndSwap(cur, v) {
@@ -163,11 +203,10 @@ func (h *Histogram) reset() {
 	}
 }
 
-// HistogramBucket is one non-empty power-of-two bucket: Count
-// observations were <= UpperBound (and above the previous bucket's
-// bound).
+// HistogramBucket is one non-empty log-linear bucket: Count observations
+// were <= UpperBound (and above the previous bucket's bound).
 type HistogramBucket struct {
-	// UpperBound is the bucket's inclusive upper bound (2^i - 1).
+	// UpperBound is the bucket's inclusive upper bound.
 	UpperBound int64 `json:"le"`
 	// Count is the number of observations that landed in this bucket.
 	Count int64 `json:"count"`
@@ -182,9 +221,52 @@ type HistogramSnapshot struct {
 	// Min and Max are the exact observed extremes (0 when Count == 0).
 	Min int64 `json:"min"`
 	Max int64 `json:"max"`
-	// Buckets lists the non-empty power-of-two buckets in ascending
-	// bound order.
+	// P50/P95/P99 are bucket-resolution quantile estimates with relative
+	// error at most 1/histSub (6.25%); values below histSub are exact.
+	// Omitted when the histogram is empty.
+	P50 int64 `json:"p50,omitempty"`
+	P95 int64 `json:"p95,omitempty"`
+	P99 int64 `json:"p99,omitempty"`
+	// Buckets lists the non-empty log-linear buckets in ascending bound
+	// order.
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the snapshot's
+// buckets: the upper bound of the bucket holding the rank-⌈q·count⌉
+// observation, clamped to the exact [Min, Max] extremes. The estimate is
+// never below the true value's bucket lower bound, so the relative error
+// is at most 1/histSub (6.25%); observations below histSub are exact.
+// Returns 0 on an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			v := b.UpperBound
+			if v < s.Min {
+				v = s.Min
+			}
+			if v > s.Max {
+				v = s.Max
+			}
+			return v
+		}
+	}
+	return s.Max
 }
 
 // snapshot captures the histogram's current state.
@@ -196,12 +278,13 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	}
 	for i := range h.buckets {
 		if c := h.buckets[i].Load(); c != 0 {
-			bound := int64(math.MaxInt64)
-			if i < 63 {
-				bound = (int64(1) << i) - 1
-			}
-			s.Buckets = append(s.Buckets, HistogramBucket{UpperBound: bound, Count: c})
+			s.Buckets = append(s.Buckets, HistogramBucket{UpperBound: bucketUpper(i), Count: c})
 		}
+	}
+	if s.Count > 0 {
+		s.P50 = s.Quantile(0.50)
+		s.P95 = s.Quantile(0.95)
+		s.P99 = s.Quantile(0.99)
 	}
 	return s
 }

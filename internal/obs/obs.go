@@ -85,6 +85,7 @@ func Reset() {
 	reg.mu.Unlock()
 	events.reset()
 	tr.reset()
+	reqs.reset()
 }
 
 // Snapshot is a point-in-time copy of everything the registry holds, in

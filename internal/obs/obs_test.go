@@ -307,8 +307,10 @@ func TestHistogramBuckets(t *testing.T) {
 		if s.Min != 0 || s.Max != 1000 {
 			t.Fatalf("min/max = %d/%d", s.Min, s.Max)
 		}
-		// 0 and -5 → bucket le=0; 1 → le=1; 2,3 → le=3; 4 → le=7; 1000 → le=1023.
-		wantBuckets := map[int64]int64{0: 2, 1: 1, 3: 2, 7: 1, 1023: 1}
+		// Values below 16 land in exact buckets (0 and -5 → le=0; 1 → le=1;
+		// 2 → le=2; 3 → le=3; 4 → le=4); 1000 lands in the log-linear
+		// bucket [992, 1023].
+		wantBuckets := map[int64]int64{0: 2, 1: 1, 2: 1, 3: 1, 4: 1, 1023: 1}
 		if len(s.Buckets) != len(wantBuckets) {
 			t.Fatalf("buckets = %+v", s.Buckets)
 		}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestQuantileErrorBound is the sketch's accuracy contract: for a known
+// distribution, every quantile estimate is within 1/histSub (6.25%)
+// relative error of the true order statistic, and the extremes are
+// exact.
+func TestQuantileErrorBound(t *testing.T) {
+	withEnabled(t, func() {
+		h := GetHistogram("quantile.uniform")
+		const n = 100000
+		// 1..n in shuffled order; the true q-quantile is ceil(q*n).
+		perm := rand.New(rand.NewSource(1)).Perm(n)
+		for _, v := range perm {
+			h.Observe(int64(v) + 1)
+		}
+		s := h.snapshot()
+		if s.Count != n || s.Min != 1 || s.Max != n {
+			t.Fatalf("count/min/max = %d/%d/%d", s.Count, s.Min, s.Max)
+		}
+		for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999} {
+			truth := math.Ceil(q * n)
+			got := float64(s.Quantile(q))
+			if relErr := math.Abs(got-truth) / truth; relErr > 1.0/histSub {
+				t.Errorf("q=%g: estimate %g vs true %g (rel err %.4f > %.4f)",
+					q, got, truth, relErr, 1.0/histSub)
+			}
+		}
+		if s.Quantile(0) != 1 || s.Quantile(1) != n {
+			t.Errorf("extremes: p0=%d p100=%d", s.Quantile(0), s.Quantile(1))
+		}
+		// The snapshot publishes p50/p95/p99 consistently with Quantile.
+		if s.P50 != s.Quantile(0.50) || s.P95 != s.Quantile(0.95) || s.P99 != s.Quantile(0.99) {
+			t.Errorf("published quantiles %d/%d/%d disagree with Quantile", s.P50, s.P95, s.P99)
+		}
+	})
+}
+
+// TestQuantileExactBelowSixteen pins that small observations (< histSub)
+// are bucketed exactly, so e.g. iteration-count histograms have
+// zero-error quantiles.
+func TestQuantileExactBelowSixteen(t *testing.T) {
+	withEnabled(t, func() {
+		h := GetHistogram("quantile.small")
+		for v := int64(0); v < histSub; v++ {
+			h.Observe(v)
+		}
+		s := h.snapshot()
+		for v := int64(0); v < histSub; v++ {
+			q := (float64(v) + 1) / histSub
+			if got := s.Quantile(q); got != v {
+				t.Errorf("q=%g: got %d, want exactly %d", q, got, v)
+			}
+		}
+	})
+}
+
+// TestQuantileEmptyAndDegenerate covers the edge shapes.
+func TestQuantileEmptyAndDegenerate(t *testing.T) {
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty snapshot quantile != 0")
+	}
+	withEnabled(t, func() {
+		h := GetHistogram("quantile.one")
+		h.Observe(12345)
+		s := h.snapshot()
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got := s.Quantile(q); got != 12345 {
+				t.Errorf("single-observation q=%g: got %d", q, got)
+			}
+		}
+	})
+}
+
+// TestBucketIndexUpperRoundTrip checks the log-linear bucket math across
+// the whole int64 range: every value's bucket upper bound is >= the
+// value, within 1/histSub relative error, and bucket bounds are strictly
+// increasing.
+func TestBucketIndexUpperRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, 15, 16, 17, 31, 32, 33, 100, 1000, 1 << 20, 1<<40 + 12345, math.MaxInt64}
+	for _, v := range vals {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("v=%d: index %d out of range", v, idx)
+		}
+		up := bucketUpper(idx)
+		if up < v {
+			t.Errorf("v=%d: upper %d below value", v, up)
+		}
+		if v >= histSub && float64(up-v) > float64(v)/histSub {
+			t.Errorf("v=%d: upper %d exceeds error bound", v, up)
+		}
+	}
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		up := bucketUpper(i)
+		if up <= prev {
+			t.Fatalf("bucket %d: upper %d not increasing past %d", i, up, prev)
+		}
+		prev = up
+	}
+}
+
+// BenchmarkHistogramObserve measures the quantile sketch's hot path: one
+// enabled Observe including the log-linear bucket index computation.
+func BenchmarkHistogramObserve(b *testing.B) {
+	Reset()
+	Enable()
+	defer func() { Disable(); Reset() }()
+	h := GetHistogram("bench.observe")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i)*2654435761 + 17)
+	}
+}
+
+// BenchmarkHistogramSnapshotQuantiles measures the read side: one
+// snapshot with p50/p95/p99 computation over a populated sketch.
+func BenchmarkHistogramSnapshotQuantiles(b *testing.B) {
+	Reset()
+	Enable()
+	defer func() { Disable(); Reset() }()
+	h := GetHistogram("bench.snapshot")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Observe(rng.Int63n(1 << 30))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := h.snapshot()
+		if s.P99 == 0 {
+			b.Fatal("p99 = 0")
+		}
+	}
+}

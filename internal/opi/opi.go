@@ -181,12 +181,14 @@ func RunFlow(n *netlist.Netlist, meas *scoap.Measures, g *core.Graph, pred Predi
 			return res
 		}
 
+		rankSpan := iterSpan.Child("rank")
 		var selected []int32
 		if cfg.ExactImpact && len(positives) <= cfg.ExactImpactCap {
 			selected = selectByExactImpact(n, meas, g, pred, positives, cfg)
 		} else {
 			selected = selectByImpact(n, positives, cfg)
 		}
+		rankSpan.End()
 		if cfg.MaxInsertions > 0 && len(res.Targets)+len(selected) > cfg.MaxInsertions {
 			selected = selected[:cfg.MaxInsertions-len(res.Targets)]
 		}

@@ -158,6 +158,32 @@ type OPIResponse struct {
 	CoverageAfter  *float64 `json:"coverage_after,omitempty"`
 }
 
+// DesignInfo is one cached design's bookkeeping in GET /v1/designs.
+type DesignInfo struct {
+	// Design is the cache id (pass it to /v1/score/delta and /v1/opi).
+	Design string `json:"design"`
+	// Nodes is the design's current cell count (grows with deltas).
+	Nodes int64 `json:"nodes"`
+	// SourceBytes is the stored netlist text size; 0 once the design has
+	// diverged from any submittable text through deltas.
+	SourceBytes int `json:"source_bytes"`
+	// Hits counts cache lookups that returned this design.
+	Hits int64 `json:"hits"`
+	// AgeMs is milliseconds since the design was compiled.
+	AgeMs int64 `json:"age_ms"`
+	// IdleMs is milliseconds since the design was last looked up.
+	IdleMs int64 `json:"idle_ms"`
+}
+
+// DesignsResponse is the body of GET /v1/designs: the cached designs in
+// most-recently-used-first order.
+type DesignsResponse struct {
+	// Designs lists the cache contents, most recently used first.
+	Designs []DesignInfo `json:"designs"`
+	// Capacity is the configured cache size (0 when caching is off).
+	Capacity int `json:"capacity"`
+}
+
 // HealthResponse is the body of GET /healthz.
 type HealthResponse struct {
 	// Status is "ok", or "draining" once shutdown has begun (reported
@@ -165,6 +191,9 @@ type HealthResponse struct {
 	Status string `json:"status"`
 	// Model describes the loaded predictor.
 	Model string `json:"model"`
+	// Version is the serving tree's git version (obs.GitDescribe);
+	// absent when git or the repository is unavailable.
+	Version string `json:"version,omitempty"`
 	// UptimeMs is milliseconds since the server was constructed.
 	UptimeMs int64 `json:"uptime_ms"`
 	// CachedDesigns is the current design-cache occupancy.

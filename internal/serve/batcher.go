@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // flightGroup coalesces concurrent identical work: while a compile for
@@ -23,10 +25,15 @@ type flightGroup struct {
 }
 
 // flightCall is one in-flight execution and its eventual result.
+// leaderID is the leader's request id, set before the call is published
+// in the calls map (so immutable once riders can see it); riders record
+// it as their batch.leader annotation — the phase breakdown of the work
+// a rider waited on lives in the leader's trace under that id.
 type flightCall struct {
-	done chan struct{}
-	val  *design
-	err  error
+	done     chan struct{}
+	leaderID string
+	val      *design
+	err      error
 }
 
 func newFlightGroup() *flightGroup {
@@ -42,18 +49,28 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (*design, er
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
 		mBatchCoalesced.Inc()
+		tr := obs.RequestFromContext(ctx)
+		tr.Annotate("batch.role", "rider")
+		if c.leaderID != "" {
+			tr.Annotate("batch.leader", c.leaderID)
+		}
+		ph := tr.StartPhase("batch_wait")
 		select {
 		case <-c.done:
+			ph.End()
 			return c.val, false, c.err
 		case <-ctx.Done():
+			ph.End()
 			mDeadline.Inc()
 			return nil, false, ctx.Err()
 		}
 	}
-	c := &flightCall{done: make(chan struct{})}
+	tr := obs.RequestFromContext(ctx)
+	c := &flightCall{done: make(chan struct{}), leaderID: tr.ID()}
 	g.calls[key] = c
 	g.mu.Unlock()
 
+	tr.Annotate("batch.role", "leader")
 	mBatchLeaders.Inc()
 	func() {
 		defer func() {

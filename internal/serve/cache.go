@@ -5,6 +5,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/netlist"
@@ -34,6 +36,16 @@ type design struct {
 	g    *core.Graph
 	pred core.IncrementalPredictor
 	run  core.IncrementalRun
+
+	// Stats for GET /v1/designs. created is set before the design is
+	// published; hits and lastAccess are guarded by the cache lock (they
+	// are only touched inside designCache methods); nodes is atomic
+	// because deltas update it under d.mu, which must never be acquired
+	// after c.mu.
+	created    time.Time
+	lastAccess time.Time
+	hits       int64
+	nodes      atomic.Int64
 }
 
 // snapshotScores copies the current probabilities out under the entry
@@ -107,6 +119,8 @@ func (c *designCache) lookupSource(id string, body []byte) (*design, bool) {
 		return nil, false
 	}
 	c.order.MoveToFront(el)
+	d.hits++
+	d.lastAccess = time.Now()
 	mCacheHits.Inc()
 	return d, true
 }
@@ -122,8 +136,11 @@ func (c *designCache) lookupID(id string) (*design, bool) {
 		return nil, false
 	}
 	c.order.MoveToFront(el)
+	d := el.Value.(*design)
+	d.hits++
+	d.lastAccess = time.Now()
 	mCacheHits.Inc()
-	return el.Value.(*design), true
+	return d, true
 }
 
 // insert adds a design under its current id, evicting the least recently
@@ -178,4 +195,35 @@ func (c *designCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// designStat is one cached design's bookkeeping, snapshotted under the
+// cache lock for GET /v1/designs.
+type designStat struct {
+	id          string
+	nodes       int64
+	sourceBytes int
+	hits        int64
+	created     time.Time
+	lastAccess  time.Time
+}
+
+// stats snapshots every cached design in MRU order (most recently used
+// first, matching the LRU list).
+func (c *designCache) stats() []designStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]designStat, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		d := el.Value.(*design)
+		out = append(out, designStat{
+			id:          d.id,
+			nodes:       d.nodes.Load(),
+			sourceBytes: len(d.source),
+			hits:        d.hits,
+			created:     d.created,
+			lastAccess:  d.lastAccess,
+		})
+	}
+	return out
 }

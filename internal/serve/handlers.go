@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/opi"
 	"repro/internal/scoap"
 )
@@ -89,29 +90,44 @@ func (s *Server) compile(ctx context.Context, id string, body []byte) (*design, 
 		mDeadline.Inc()
 		return nil, err
 	}
+	// Phases land in the originating request's trace; under the batcher
+	// that is the leader's trace (riders record batch_wait instead).
+	tr := obs.RequestFromContext(ctx)
+	ph := tr.StartPhase("parse")
 	n, err := netlist.Read(bytes.NewReader(body))
 	if err != nil {
+		ph.End()
 		return nil, badRequest("netlist parse: " + err.Error())
 	}
 	if err := n.Validate(); err != nil {
+		ph.End()
 		return nil, badRequest("netlist validate: " + err.Error())
 	}
+	ph.End()
+	ph = tr.StartPhase("scoap")
 	meas := scoap.Compute(n)
 	g := core.FromNetlist(n, meas)
+	ph.End()
 	if err := ctx.Err(); err != nil {
 		mDeadline.Inc()
 		return nil, err
 	}
+	ph = tr.StartPhase("forward")
 	pred := core.ClonePredictor(s.opts.Predictor)
+	now := time.Now()
 	d := &design{
-		id:     id,
-		source: append([]byte(nil), body...),
-		net:    n,
-		meas:   meas,
-		g:      g,
-		pred:   pred,
-		run:    pred.NewIncremental(g), // the one full forward pass
+		id:         id,
+		source:     append([]byte(nil), body...),
+		net:        n,
+		meas:       meas,
+		g:          g,
+		pred:       pred,
+		run:        pred.NewIncremental(g), // the one full forward pass
+		created:    now,
+		lastAccess: now,
 	}
+	d.nodes.Store(int64(n.NumGates()))
+	ph.End()
 	s.cache.insert(d)
 	return d, nil
 }
@@ -158,9 +174,13 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	mScoreRequests.Inc()
 	defer func() { mScoreLatency.Observe(time.Since(start).Nanoseconds()) }()
+	tr := obs.RequestFromContext(r.Context())
 
 	var req ScoreRequest
-	if !s.decodeJSON(w, r, &req) {
+	ph := tr.StartPhase("decode")
+	ok := s.decodeJSON(w, r, &req)
+	ph.End()
+	if !ok {
 		return
 	}
 	if req.Netlist == "" {
@@ -169,7 +189,10 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
-	if err := s.admit.acquire(ctx); err != nil {
+	ph = tr.StartPhase("queue")
+	err := s.admit.acquire(ctx)
+	ph.End()
+	if err != nil {
 		writeFailure(w, err)
 		return
 	}
@@ -178,11 +201,15 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	body := []byte(req.Netlist)
 	key := s.cache.hash(body)
 	if d, ok := s.cache.lookupSource(key, body); ok {
-		writeJSON(w, http.StatusOK, s.scoreResponse(d, req.Threshold, true))
+		tr.Annotate("cache", "hit")
+		ph = tr.StartPhase("rank")
+		resp := s.scoreResponse(d, req.Threshold, true)
+		ph.End()
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	tr.Annotate("cache", "miss")
 	var d *design
-	var err error
 	if s.opts.DisableBatching {
 		d, err = s.compile(ctx, key, body)
 	} else {
@@ -194,7 +221,10 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		writeFailure(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.scoreResponse(d, req.Threshold, false))
+	ph = tr.StartPhase("rank")
+	resp := s.scoreResponse(d, req.Threshold, false)
+	ph.End()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleDelta implements POST /v1/score/delta: observation-point edits
@@ -205,9 +235,13 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	mDeltaRequests.Inc()
 	defer func() { mDeltaLatency.Observe(time.Since(start).Nanoseconds()) }()
+	tr := obs.RequestFromContext(r.Context())
 
 	var req DeltaRequest
-	if !s.decodeJSON(w, r, &req) {
+	ph := tr.StartPhase("decode")
+	ok := s.decodeJSON(w, r, &req)
+	ph.End()
+	if !ok {
 		return
 	}
 	if req.Design == "" {
@@ -220,7 +254,10 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
-	if err := s.admit.acquire(ctx); err != nil {
+	ph = tr.StartPhase("queue")
+	err := s.admit.acquire(ctx)
+	ph.End()
+	if err != nil {
 		writeFailure(w, err)
 		return
 	}
@@ -258,28 +295,35 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	// insertion to stay index-aligned.
 	lv := append([]int32(nil), d.net.Levels()...)
 	var dirty []int32
+	ph = tr.StartPhase("apply")
 	for _, t := range targets {
 		_, touched, err := opi.InsertAndRefresh(d.net, d.meas, d.g, t, lv)
 		if err != nil {
 			// resolveTargets vetted every target, so nothing was mutated
 			// for this one; report it without applying the rest.
+			ph.End()
 			writeFailure(w, badRequest("observe "+itoa32(t)+": "+err.Error()))
 			return
 		}
 		lv = append(lv, lv[t]+1)
 		dirty = append(dirty, touched...)
 	}
+	ph.End()
+	ph = tr.StartPhase("forward")
 	d.run.Update(d.g, dirty) // appended OP nodes are implicitly dirty
+	ph.End()
 
 	newID := deltaID(req.Design, targets)
 	s.cache.rekey(req.Design, newID, d)
+	d.nodes.Store(int64(d.net.NumGates()))
 
+	ph = tr.StartPhase("rank")
 	probs := d.run.Probs()
 	inserted := make([]NodeScore, len(targets))
 	for i, t := range targets {
 		inserted[i] = NodeScore{ID: t, Name: d.net.Gate(t).Name, Score: probs[t]}
 	}
-	writeJSON(w, http.StatusOK, ScoreResponse{
+	resp := ScoreResponse{
 		Design:    newID,
 		Nodes:     d.net.NumGates(),
 		Scores:    d.snapshotScores(),
@@ -287,7 +331,9 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		Cached:    true,
 		Updated:   len(dirty),
 		Inserted:  inserted,
-	})
+	}
+	ph.End()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // resolveTargets validates and merges a delta's id- and name-addressed
@@ -327,9 +373,13 @@ func (s *Server) handleOPI(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	mOPIRequests.Inc()
 	defer func() { mOPILatency.Observe(time.Since(start).Nanoseconds()) }()
+	tr := obs.RequestFromContext(r.Context())
 
 	var req OPIRequest
-	if !s.decodeJSON(w, r, &req) {
+	ph := tr.StartPhase("decode")
+	ok := s.decodeJSON(w, r, &req)
+	ph.End()
+	if !ok {
 		return
 	}
 	if (req.Netlist == "") == (req.Design == "") {
@@ -338,7 +388,10 @@ func (s *Server) handleOPI(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
-	if err := s.admit.acquire(ctx); err != nil {
+	ph = tr.StartPhase("queue")
+	err := s.admit.acquire(ctx)
+	ph.End()
+	if err != nil {
 		writeFailure(w, err)
 		return
 	}
@@ -367,12 +420,14 @@ func (s *Server) handleOPI(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	ph = tr.StartPhase("clone")
 	d.mu.Lock()
 	baseID := s.cache.idOf(d)
 	n := d.net.Clone()
 	meas := d.meas.Clone()
 	g := d.g.Clone()
 	d.mu.Unlock()
+	ph.End()
 
 	// Check out a predictor replica; admission bounds concurrent holders
 	// to the pool size, so this only blocks on deadline expiry.
@@ -392,15 +447,19 @@ func (s *Server) handleOPI(w http.ResponseWriter, r *http.Request) {
 	}
 	var before *float64
 	if req.Evaluate {
+		ph = tr.StartPhase("evaluate")
 		v := evaluateCoverage(n, req.Patterns)
+		ph.End()
 		before = &v
 	}
+	ph = tr.StartPhase("flow")
 	probs0 := pred.PredictProbs(g) // pre-flow scores for the suggestions
 	res := opi.RunFlow(n, meas, g, pred, opi.FlowConfig{
 		Threshold:     req.Threshold,
 		PerIteration:  req.PerIteration,
 		MaxInsertions: maxPoints,
 	})
+	ph.End()
 	if err := ctx.Err(); err != nil {
 		mDeadline.Inc()
 		writeFailure(w, err)
@@ -408,10 +467,13 @@ func (s *Server) handleOPI(w http.ResponseWriter, r *http.Request) {
 	}
 	var after *float64
 	if req.Evaluate {
+		ph = tr.StartPhase("evaluate")
 		v := evaluateCoverage(n, req.Patterns)
+		ph.End()
 		after = &v
 	}
 
+	ph = tr.StartPhase("rank")
 	points := make([]NodeScore, len(res.Targets))
 	for i, t := range res.Targets {
 		score := 0.0
@@ -420,6 +482,7 @@ func (s *Server) handleOPI(w http.ResponseWriter, r *http.Request) {
 		}
 		points[i] = NodeScore{ID: t, Name: n.Gate(t).Name, Score: score}
 	}
+	ph.End()
 	resp := OPIResponse{
 		Points:         points,
 		Iterations:     res.Iterations,
@@ -442,11 +505,35 @@ func evaluateCoverage(n *netlist.Netlist, patterns int) float64 {
 	return opi.Evaluate(n, fault.TPGConfig{MaxPatterns: patterns}).Coverage
 }
 
+// handleDesigns implements GET /v1/designs: list the cached designs —
+// id, size, hit count, age and idle time — most recently used first.
+func (s *Server) handleDesigns(w http.ResponseWriter, _ *http.Request) {
+	mDesignsRequests.Inc()
+	stats := s.cache.stats()
+	now := time.Now()
+	resp := DesignsResponse{Designs: make([]DesignInfo, 0, len(stats))}
+	if s.opts.CacheEntries > 0 {
+		resp.Capacity = s.opts.CacheEntries
+	}
+	for _, st := range stats {
+		resp.Designs = append(resp.Designs, DesignInfo{
+			Design:      st.id,
+			Nodes:       st.nodes,
+			SourceBytes: st.sourceBytes,
+			Hits:        st.hits,
+			AgeMs:       now.Sub(st.created).Milliseconds(),
+			IdleMs:      now.Sub(st.lastAccess).Milliseconds(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // handleHealth implements GET /healthz.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	resp := HealthResponse{
 		Status:        "ok",
 		Model:         s.opts.ModelInfo,
+		Version:       obs.GitDescribe(),
 		UptimeMs:      time.Since(s.start).Milliseconds(),
 		CachedDesigns: s.cache.len(),
 		Inflight:      s.admit.inflight.Load(),

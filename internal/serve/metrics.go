@@ -37,4 +37,9 @@ var (
 
 	// Error responses by coarse class.
 	mErrors = obs.GetCounter("serve.errors")
+
+	// Request-scoped observability: requests at or above the
+	// Options.SlowRequest threshold, and /v1/designs listing calls.
+	mSlowRequests    = obs.GetCounter("serve.slow_requests")
+	mDesignsRequests = obs.GetCounter("serve.designs.requests")
 )

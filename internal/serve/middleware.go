@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// statusWriter records the response status code so the middleware can
+// report it in the request trace and the access log. A handler that
+// never calls WriteHeader implies 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the request-scoped observability
+// plumbing: it assigns the request an id (echoing a sane client
+// X-Request-ID, generating one otherwise), opens an obs request trace
+// carried through the request context so downstream phases (queue,
+// parse, forward, ...) attribute to this request, and on completion
+// finishes the trace, counts slow requests, and emits the access-log
+// line. The id is echoed back in the X-Request-ID response header.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := obs.SanitizeRequestID(r.Header.Get("X-Request-ID"))
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+
+		tr := obs.StartRequest(name, id)
+		if tr != nil {
+			r = r.WithContext(obs.ContextWithRequest(r.Context(), tr))
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		wall := time.Since(start)
+		snap := tr.Finish(strconv.Itoa(status))
+		if snap.ID == "" {
+			// Tracing disabled: the access log still carries the id.
+			snap.ID = id
+		}
+		if s.opts.SlowRequest > 0 && wall >= s.opts.SlowRequest {
+			mSlowRequests.Inc()
+		}
+		s.accessLog.Log(r.Method, r.URL.Path, status, wall, snap)
+	}
+}

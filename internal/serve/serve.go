@@ -11,9 +11,11 @@
 //	                      design and rescore incrementally
 //	POST /v1/opi          run the GCN-guided insertion flow and return
 //	                      suggested observation points
+//	GET  /v1/designs      list cached designs (size, age, hit counts)
 //	GET  /healthz         liveness/readiness
 //	GET  /metrics         Prometheus exposition (internal/obs)
 //	GET  /snapshot        full observability snapshot (internal/obs)
+//	GET  /debug/requests  inflight + recent request traces (internal/obs)
 //
 // docs/SERVING.md describes the architecture and semantics;
 // docs/API.md is the normative wire-format reference.
@@ -33,6 +35,7 @@
 package serve
 
 import (
+	"io"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -80,6 +83,20 @@ type Options struct {
 	// concurrent score requests; used by benchmarks and tests to measure
 	// the serial path.
 	DisableBatching bool
+
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// logged request (see obs.AccessRecord for the schema). nil disables
+	// access logging.
+	AccessLog io.Writer
+
+	// AccessLogSample logs one in every AccessLogSample fast requests;
+	// <=1 logs all of them. Slow requests always log.
+	AccessLogSample int
+
+	// SlowRequest is the slow-request threshold: a request at or above
+	// it bypasses access-log sampling, logs its full phase breakdown,
+	// and increments serve.slow_requests. 0 disables slow detection.
+	SlowRequest time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -107,14 +124,15 @@ func (o Options) withDefaults() Options {
 // Server is the HTTP inference service. Construct with New, expose with
 // Handler, and call StartDraining when shutting down.
 type Server struct {
-	opts     Options
-	admit    *admission
-	cache    *designCache
-	flight   *flightGroup
-	pool     chan core.IncrementalPredictor
-	mux      *http.ServeMux
-	start    time.Time
-	draining atomic.Bool
+	opts      Options
+	admit     *admission
+	cache     *designCache
+	flight    *flightGroup
+	pool      chan core.IncrementalPredictor
+	mux       *http.ServeMux
+	accessLog *obs.AccessLogger
+	start     time.Time
+	draining  atomic.Bool
 }
 
 // New builds a Server around a loaded predictor (see
@@ -125,13 +143,14 @@ func New(opts Options) (*Server, error) {
 		return nil, errNoPredictor
 	}
 	s := &Server{
-		opts:   opts,
-		admit:  newAdmission(opts.MaxConcurrent, opts.MaxQueue),
-		cache:  newDesignCache(opts.CacheEntries),
-		flight: newFlightGroup(),
-		pool:   make(chan core.IncrementalPredictor, opts.MaxConcurrent),
-		mux:    http.NewServeMux(),
-		start:  time.Now(),
+		opts:      opts,
+		admit:     newAdmission(opts.MaxConcurrent, opts.MaxQueue),
+		cache:     newDesignCache(opts.CacheEntries),
+		flight:    newFlightGroup(),
+		pool:      make(chan core.IncrementalPredictor, opts.MaxConcurrent),
+		mux:       http.NewServeMux(),
+		accessLog: obs.NewAccessLogger(opts.AccessLog, opts.AccessLogSample, opts.SlowRequest),
+		start:     time.Now(),
 	}
 	// A replica pool for paths that run whole flows (such as /v1/opi)
 	// rather than per-design sessions: admission guarantees at most
@@ -139,11 +158,12 @@ func New(opts Options) (*Server, error) {
 	for i := 0; i < opts.MaxConcurrent; i++ {
 		s.pool <- core.ClonePredictor(opts.Predictor)
 	}
-	s.mux.HandleFunc("POST /v1/score", s.handleScore)
-	s.mux.HandleFunc("POST /v1/score/delta", s.handleDelta)
-	s.mux.HandleFunc("POST /v1/opi", s.handleOPI)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	obs.RegisterHTTP(s.mux)
+	s.mux.HandleFunc("POST /v1/score", s.instrument("score", s.handleScore))
+	s.mux.HandleFunc("POST /v1/score/delta", s.instrument("delta", s.handleDelta))
+	s.mux.HandleFunc("POST /v1/opi", s.instrument("opi", s.handleOPI))
+	s.mux.HandleFunc("GET /v1/designs", s.instrument("designs", s.handleDesigns))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	obs.RegisterHTTP(s.mux) // /metrics, /snapshot, /debug/requests
 	return s, nil
 }
 

@@ -23,6 +23,8 @@
 #      committed BENCH_NNNN.json artifacts and fails on a regression
 #      beyond tolerance (generous, because artifacts may come from
 #      different machines; see docs/OBSERVABILITY.md)
+#   9. metric-key documentation: every serve.* / obs.* metric key
+#      registered in non-test Go sources appears in docs/OBSERVABILITY.md
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -108,6 +110,21 @@ for dir in internal/* cmd/*; do
 done
 [ "$missing" -eq 0 ] || exit 1
 echo "   every internal/* and cmd/* package documented"
+
+echo "== metric keys documented (docs/OBSERVABILITY.md)"
+undocumented=0
+while read -r key; do
+    if ! grep -qF "\`$key\`" docs/OBSERVABILITY.md; then
+        echo "metric key $key is emitted in code but not documented in docs/OBSERVABILITY.md" >&2
+        undocumented=1
+    fi
+done < <(
+    git ls-files 'internal/*.go' 'cmd/*.go' | grep -v '_test\.go$' |
+    xargs grep -hoE 'Get(Counter|Gauge|Histogram)\("(serve|obs)\.[a-z0-9_.]+"' |
+    sed -E 's/^Get(Counter|Gauge|Histogram)\("//; s/"$//' | sort -u
+)
+[ "$undocumented" -eq 0 ] || exit 1
+echo "   every serve.*/obs.* metric key documented"
 
 echo "== benchcmp (recorded performance trajectory)"
 benches=$(ls BENCH_*.json 2>/dev/null | sort | tail -2)
