@@ -25,6 +25,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/netlist"
 	"repro/internal/opi"
+	"repro/internal/partition"
 	"repro/internal/scoap"
 	"repro/internal/serve"
 	"repro/internal/sparse"
@@ -142,6 +143,80 @@ func BenchmarkOPIFlowFull(b *testing.B) { opiFlowBench(b, true) }
 // round's dirty set into the cached-embedding update (Section 3.4's
 // efficiency argument applied to the Section 4 loop).
 func BenchmarkOPIFlowIncremental(b *testing.B) { opiFlowBench(b, false) }
+
+// BenchmarkFig10ShardedForward times the same mid-size point through the
+// partitioned executor (8 level-band shards, halo exchange, pool workers
+// = GOMAXPROCS). Its output is bit-identical to Forward — the delta vs
+// BenchmarkFig10MatrixInference is pure sharding overhead (or speedup,
+// on multi-core hosts).
+func BenchmarkFig10ShardedForward(b *testing.B) {
+	n := circuitgen.Generate("f10m", circuitgen.Config{Seed: 1, NumGates: 20000})
+	g := core.FromNetlist(n, scoap.Compute(n))
+	sp, err := partition.NewSharded(core.MustNewModel(core.DefaultConfig()), partition.Options{K: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sp.Close()
+	sp.PredictProbs(g) // compile the partition once
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.PredictProbs(g)
+	}
+}
+
+// paperScale lazily builds the ≥1M-cell instance shared by the
+// paper-scale benchmark pair; generation plus SCOAP takes tens of
+// seconds and must not be paid per benchmark.
+var paperScale struct {
+	once sync.Once
+	g    *core.Graph
+	m    *core.Model
+}
+
+func paperScaleSetup(b *testing.B) (*core.Graph, *core.Model) {
+	b.Helper()
+	paperScale.once.Do(func() {
+		n := circuitgen.Generate("m1", circuitgen.PaperScale(1))
+		paperScale.g = core.FromNetlist(n, scoap.Compute(n))
+		paperScale.m = core.MustNewModel(core.DefaultConfig())
+	})
+	return paperScale.g, paperScale.m
+}
+
+// BenchmarkPaperScaleForward is whole-graph matrix inference at the
+// paper's largest reported scale (Table 1 / the right edge of Figure
+// 10): one full forward over ≥1M cells. Skipped under -short — one
+// iteration runs for tens of seconds.
+func BenchmarkPaperScaleForward(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-scale benchmark skipped in -short mode")
+	}
+	g, m := paperScaleSetup(b)
+	m.Forward(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(g)
+	}
+}
+
+// BenchmarkPaperScaleShardedForward is the same forward through the
+// sharded executor; cmd/benchjson records it across a worker matrix.
+func BenchmarkPaperScaleShardedForward(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-scale benchmark skipped in -short mode")
+	}
+	g, m := paperScaleSetup(b)
+	sp, err := partition.NewSharded(m, partition.Options{K: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sp.Close()
+	sp.PredictProbs(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.PredictProbs(g)
+	}
+}
 
 // --- Ablation benchmarks -------------------------------------------------
 

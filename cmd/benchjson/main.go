@@ -31,6 +31,8 @@ import (
 	"regexp"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -42,6 +44,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/opi"
+	"repro/internal/partition"
 	"repro/internal/scoap"
 	"repro/internal/serve"
 	"repro/internal/sparse"
@@ -61,6 +64,12 @@ type BenchResult struct {
 	// each result records the value it actually ran under (the header
 	// value only describes process start).
 	GOMAXPROCS int `json:"gomaxprocs"`
+	// Workers is the sharded-executor worker-pool size for entries in
+	// the multi-core matrix (the /workers=… benchmark variants); 0 for
+	// benchmarks outside the matrix. The "numcpu" variant records the
+	// resolved runtime.NumCPU() value, so artifacts from different
+	// machines stay self-describing.
+	Workers int `json:"workers,omitempty"`
 }
 
 // BenchFile is the serialized artifact: environment identification plus
@@ -85,22 +94,74 @@ type BenchFile struct {
 // excluded from the default artifact: their runtime is dominated by the
 // same SpMM/fault-sim kernels measured here and would make each recorded
 // run minutes long.
+//
+// Entries with parallel=true are the multi-core matrix: they run once
+// per -workers token as Name/workers=T, with the pool size recorded in
+// the result's workers field. samples, when non-zero, overrides -count —
+// the paper-scale benchmarks take tens of seconds per iteration, so one
+// sample keeps a recording session under ten minutes.
 var tier1 = []struct {
-	name string
-	fn   func(b *testing.B)
+	name     string
+	fn       func(b *testing.B, workers int)
+	parallel bool
+	samples  int
 }{
-	{"Table1DatasetGeneration", benchTable1},
-	{"Fig10MatrixInference", benchMatrixInference},
-	{"Fig10RecursiveInference", benchRecursiveInference},
-	{"AblationCSRMul", benchCSRMul},
-	{"AblationSpMMParallel", benchSpMMParallel},
-	{"AblationIncrementalSCOAP", benchIncrementalSCOAP},
-	{"AblationFaultSimulation", benchFaultSimulation},
-	{"OPIFlowFull", benchOPIFlowFull},
-	{"OPIFlowIncremental", benchOPIFlowIncremental},
-	{"ServeScoreBatched", benchServeScoreBatched},
-	{"ServeScoreSerial", benchServeScoreSerial},
-	{"ObsHistogramObserve", benchObsHistogramObserve},
+	{name: "Table1DatasetGeneration", fn: ignoreWorkers(benchTable1)},
+	{name: "Fig10MatrixInference", fn: ignoreWorkers(benchMatrixInference)},
+	{name: "Fig10RecursiveInference", fn: ignoreWorkers(benchRecursiveInference)},
+	{name: "Fig10ShardedForward", fn: benchShardedForward, parallel: true},
+	{name: "PaperScaleForward", fn: ignoreWorkers(benchPaperScaleForward), samples: 1},
+	{name: "PaperScaleShardedForward", fn: benchPaperScaleSharded, parallel: true, samples: 1},
+	{name: "AblationCSRMul", fn: ignoreWorkers(benchCSRMul)},
+	{name: "AblationSpMMParallel", fn: ignoreWorkers(benchSpMMParallel)},
+	{name: "AblationIncrementalSCOAP", fn: ignoreWorkers(benchIncrementalSCOAP)},
+	{name: "AblationFaultSimulation", fn: ignoreWorkers(benchFaultSimulation)},
+	{name: "OPIFlowFull", fn: ignoreWorkers(benchOPIFlowFull)},
+	{name: "OPIFlowIncremental", fn: ignoreWorkers(benchOPIFlowIncremental)},
+	{name: "ServeScoreBatched", fn: ignoreWorkers(benchServeScoreBatched)},
+	{name: "ServeScoreSerial", fn: ignoreWorkers(benchServeScoreSerial)},
+	{name: "ObsHistogramObserve", fn: ignoreWorkers(benchObsHistogramObserve)},
+}
+
+// ignoreWorkers adapts a workers-independent benchmark body to the table
+// signature.
+func ignoreWorkers(fn func(*testing.B)) func(*testing.B, int) {
+	return func(b *testing.B, _ int) { fn(b) }
+}
+
+// workerVariant is one point of the multi-core matrix: the label used in
+// the benchmark name and the pool size passed to the sharded executor
+// (0 = let the pool pick GOMAXPROCS).
+type workerVariant struct {
+	label string
+	n     int
+}
+
+// parseWorkers turns the -workers flag ("1,4,0") into matrix points.
+// Token 0 means "all cores" and is labeled numcpu so artifact names stay
+// stable across machines while the workers field records the resolved
+// count.
+func parseWorkers(spec string) ([]workerVariant, error) {
+	var out []workerVariant
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		n, err := strconv.Atoi(tok)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad -workers token %q", tok)
+		}
+		label := tok
+		if n == 0 {
+			label = "numcpu"
+		}
+		out = append(out, workerVariant{label: label, n: n})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-workers is empty")
+	}
+	return out, nil
 }
 
 func main() {
@@ -109,6 +170,7 @@ func main() {
 	pattern := flag.String("bench", "", "regexp filtering benchmark names (default: all)")
 	count := flag.Int("count", 3, "samples per benchmark; the fastest is recorded")
 	counters := flag.Bool("counters", true, "enable internal/obs and embed the counter snapshot")
+	workersSpec := flag.String("workers", "1,4,0", "comma-separated worker-pool sizes for the sharded matrix (0 = all cores)")
 	flag.Parse()
 
 	var filter *regexp.Regexp
@@ -118,6 +180,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: bad -bench regexp:", err)
 			os.Exit(2)
 		}
+	}
+	matrix, err := parseWorkers(*workersSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
 	}
 
 	if *counters {
@@ -141,34 +208,56 @@ func main() {
 	}
 
 	for _, bm := range tier1 {
-		if filter != nil && !filter.MatchString(bm.name) {
-			continue
+		// Non-matrix benchmarks run once; matrix benchmarks run once per
+		// -workers token under a /workers=T name.
+		variants := []workerVariant{{}}
+		if bm.parallel {
+			variants = matrix
 		}
-		fmt.Fprintf(os.Stderr, "running %-28s ", bm.name)
-		// Sample -count times and keep the fastest run. On a shared
-		// container, scheduler steal inflates individual samples by tens
-		// of percent; the minimum is the robust estimator of the code's
-		// actual cost (a real regression slows every sample, a steal
-		// spike only some), so recorded artifacts stay comparable across
-		// noisy recording sessions.
-		var res BenchResult
-		for k := 0; k < *count; k++ {
-			r := testing.Benchmark(bm.fn)
-			sample := BenchResult{
-				Name:        bm.name,
-				Iterations:  r.N,
-				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-				AllocsPerOp: r.AllocsPerOp(),
-				BytesPerOp:  r.AllocedBytesPerOp(),
-				Seconds:     r.T.Seconds(),
-				GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		for _, wv := range variants {
+			name := bm.name
+			recordedWorkers := 0
+			if bm.parallel {
+				name = fmt.Sprintf("%s/workers=%s", bm.name, wv.label)
+				recordedWorkers = wv.n
+				if recordedWorkers == 0 {
+					recordedWorkers = runtime.NumCPU()
+				}
 			}
-			if k == 0 || sample.NsPerOp < res.NsPerOp {
-				res = sample
+			if filter != nil && !filter.MatchString(name) {
+				continue
 			}
+			samples := *count
+			if bm.samples > 0 {
+				samples = bm.samples
+			}
+			fmt.Fprintf(os.Stderr, "running %-40s ", name)
+			// Sample several times and keep the fastest run. On a shared
+			// container, scheduler steal inflates individual samples by tens
+			// of percent; the minimum is the robust estimator of the code's
+			// actual cost (a real regression slows every sample, a steal
+			// spike only some), so recorded artifacts stay comparable across
+			// noisy recording sessions.
+			var res BenchResult
+			for k := 0; k < samples; k++ {
+				r := testing.Benchmark(func(b *testing.B) { bm.fn(b, wv.n) })
+				sample := BenchResult{
+					Name:        name,
+					Iterations:  r.N,
+					NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+					AllocsPerOp: r.AllocsPerOp(),
+					BytesPerOp:  r.AllocedBytesPerOp(),
+					Seconds:     r.T.Seconds(),
+					GOMAXPROCS:  runtime.GOMAXPROCS(0),
+					Workers:     recordedWorkers,
+				}
+				if k == 0 || sample.NsPerOp < res.NsPerOp {
+					res = sample
+				}
+			}
+			fmt.Fprintf(os.Stderr, "%12.0f ns/op  %d iters  (best of %d)\n", res.NsPerOp, res.Iterations, samples)
+			file.Benchmarks = append(file.Benchmarks, res)
 		}
-		fmt.Fprintf(os.Stderr, "%12.0f ns/op  %d iters  (best of %d)\n", res.NsPerOp, res.Iterations, *count)
-		file.Benchmarks = append(file.Benchmarks, res)
 	}
 	if len(file.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmarks matched")
@@ -251,6 +340,73 @@ func benchRecursiveInference(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.InferNodeRecursive(g, int32(rng.Intn(g.N)))
+	}
+}
+
+// benchShardedForward is the mid-size sharded-executor point of the
+// multi-core matrix: the Figure 10 design scored through 8 level-band
+// shards with the given worker-pool size. Output is bit-identical to
+// Fig10MatrixInference, so the delta between them is pure partitioning
+// cost/benefit at each pool size.
+func benchShardedForward(b *testing.B, workers int) {
+	g, m := fig10Setup(1)
+	sp, err := partition.NewSharded(m, partition.Options{K: 8, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sp.Close()
+	sp.PredictProbs(g) // compile the partition once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.PredictProbs(g)
+	}
+}
+
+// paperScale lazily builds the ≥1M-cell instance shared by the
+// paper-scale pair: generation plus SCOAP takes tens of seconds and must
+// be paid once per recording session, not per matrix point.
+var paperScale struct {
+	once sync.Once
+	g    *core.Graph
+	m    *core.Model
+}
+
+func paperScaleSetup() (*core.Graph, *core.Model) {
+	paperScale.once.Do(func() {
+		fmt.Fprintf(os.Stderr, "(building paper-scale instance) ")
+		n := circuitgen.Generate("m1", circuitgen.PaperScale(1))
+		paperScale.g = core.FromNetlist(n, scoap.Compute(n))
+		paperScale.m = core.MustNewModel(core.DefaultConfig())
+	})
+	return paperScale.g, paperScale.m
+}
+
+// benchPaperScaleForward: whole-graph matrix inference at the paper's
+// largest reported scale (Table 1 / the right edge of Figure 10).
+func benchPaperScaleForward(b *testing.B) {
+	g, m := paperScaleSetup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(g)
+	}
+}
+
+// benchPaperScaleSharded: the same ≥1M-cell forward through the sharded
+// executor at each matrix pool size.
+func benchPaperScaleSharded(b *testing.B, workers int) {
+	g, m := paperScaleSetup()
+	sp, err := partition.NewSharded(m, partition.Options{K: 8, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sp.Close()
+	sp.PredictProbs(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.PredictProbs(g)
 	}
 }
 

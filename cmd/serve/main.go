@@ -7,14 +7,18 @@
 //	serve -model model.gob [-addr :8080] [-max-concurrent 4]
 //	      [-max-queue 64] [-timeout 30s] [-cache 32]
 //	      [-drain-timeout 30s] [-access-log PATH] [-slow-ms 1000]
-//	      [-sample 16]
+//	      [-sample 16] [-shards 0] [-shard-workers 0]
 //	serve -demo             # untrained paper-architecture model
 //
 // -model accepts both the self-describing checkpoint format
 // (core.SaveCheckpoint) and the legacy cascade stream `gcntest train`
-// writes. On SIGINT/SIGTERM the server flips /healthz to "draining",
-// stops accepting connections, and waits up to -drain-timeout for
-// in-flight requests before exiting.
+// writes. -shards K (K > 0) scores each design through the partitioned
+// executor of internal/partition — K level-band shards on a worker pool
+// of -shard-workers goroutines (0 = all cores) — which is bit-identical
+// to whole-graph inference and pays off on million-cell designs on
+// multi-core hosts. On SIGINT/SIGTERM the server flips /healthz to
+// "draining", stops accepting connections, and waits up to
+// -drain-timeout for in-flight requests before exiting.
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/partition"
 	"repro/internal/serve"
 )
 
@@ -55,6 +60,8 @@ func run(args []string) error {
 	accessLog := fs.String("access-log", "", `structured JSON access-log destination ("-" for stdout, empty disables)`)
 	slowMs := fs.Int("slow-ms", 1000, "slow-request threshold in ms; slow requests always log with phase breakdowns (0 disables)")
 	sample := fs.Int("sample", 16, "access-log sampling: log one in N fast requests (1 logs all)")
+	shards := fs.Int("shards", 0, "score through the partitioned executor with this many shards (0 = whole-graph inference)")
+	shardWorkers := fs.Int("shard-workers", 0, "worker-pool size for -shards (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,6 +81,16 @@ func run(args []string) error {
 		log.Println("WARNING: -demo serves an UNTRAINED model; scores are meaningless")
 	default:
 		return errors.New("one of -model or -demo is required")
+	}
+
+	if *shards > 0 {
+		sp, err := partition.NewSharded(pred, partition.Options{K: *shards, Workers: *shardWorkers})
+		if err != nil {
+			return fmt.Errorf("-shards: %w", err)
+		}
+		defer sp.Close()
+		pred = sp
+		info = fmt.Sprintf("%s, sharded x%d (%d workers)", info, sp.NumShards(), sp.Workers())
 	}
 
 	// Live /metrics, /snapshot and /debug/requests are part of the

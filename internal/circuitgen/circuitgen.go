@@ -114,6 +114,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// PaperScale returns the generation preset for the paper's largest
+// design class: a bit over one million cells, the scale at which Table 1
+// reports the industrial designs and Figure 10's matrix-inference curve
+// ends. Only the seed varies between instances; everything else uses the
+// calibrated defaults, so the preset keeps the same class profile
+// (<1% difficult-to-observe) as the B1–B4 suite. Generation takes tens
+// of seconds — this preset is for the bench path (cmd/benchjson,
+// bench_test.go), not unit tests; tests should override NumGates down.
+func PaperScale(seed int64) Config {
+	return Config{Seed: seed, NumGates: 1_050_000}
+}
+
 // Generate builds a netlist according to cfg. The result always validates
 // and has no dangling nets: every internal net reaches at least one
 // primary output, flip-flop or compactor.

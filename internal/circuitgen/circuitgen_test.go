@@ -118,3 +118,25 @@ func TestGenerateWithArithBlocks(t *testing.T) {
 		t.Errorf("default should embed no arithmetic blocks: %d vs %d", def.NumGates(), plain.NumGates())
 	}
 }
+
+func TestPaperScalePreset(t *testing.T) {
+	cfg := PaperScale(7)
+	if cfg.NumGates < 1_000_000 {
+		t.Fatalf("PaperScale gates = %d, want >= 1M", cfg.NumGates)
+	}
+	if cfg.Seed != 7 {
+		t.Fatalf("PaperScale seed = %d, want 7", cfg.Seed)
+	}
+	// Generating a full million-gate instance takes tens of seconds, so
+	// the structural check runs the same preset scaled down: only the
+	// size field changes, every calibrated knob stays at its default.
+	small := cfg
+	small.NumGates = 4000
+	n := Generate("ps", small)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s := n.ComputeStats(); s.Gates < 4000 {
+		t.Errorf("gates = %d, want >= 4000", s.Gates)
+	}
+}

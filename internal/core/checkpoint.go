@@ -138,10 +138,19 @@ func LoadCheckpointFile(path string) (IncrementalPredictor, error) {
 	return ms, nil
 }
 
+// PredictorCloner is the hook composite predictors implement so that
+// ClonePredictor can deep-copy them without core knowing their concrete
+// type (partition.ShardedPredictor wraps a Model or MultiStage and
+// clones its base plus private execution state through this).
+type PredictorCloner interface {
+	ClonePredictor() IncrementalPredictor
+}
+
 // ClonePredictor returns a deep copy of a known predictor type (*Model
 // or *MultiStage) with its own parameter and scratch storage, safe to
-// use concurrently with the original. Predictors of other dynamic types
-// are returned unchanged — callers needing isolation for custom
+// use concurrently with the original. Other types are asked to clone
+// themselves via PredictorCloner when they implement it, and are
+// returned unchanged otherwise — callers needing isolation for such
 // predictors must provide it themselves.
 func ClonePredictor(pred IncrementalPredictor) IncrementalPredictor {
 	switch p := pred.(type) {
@@ -149,6 +158,8 @@ func ClonePredictor(pred IncrementalPredictor) IncrementalPredictor {
 		return p.Clone()
 	case *MultiStage:
 		return p.Clone()
+	case PredictorCloner:
+		return p.ClonePredictor()
 	default:
 		return pred
 	}

@@ -76,6 +76,31 @@ func scratchDense(p **tensor.Dense, rows, cols int) *tensor.Dense {
 	return d
 }
 
+// NewIncrementalState assembles an incremental-inference state from
+// externally computed per-layer embeddings and logits; the sharded
+// executor (internal/partition) stitches these from per-shard runs and
+// hands the whole-graph view back to core here. embeds[0] must be a
+// private copy of the attribute matrix (not an alias of g.X, which
+// later attribute edits would corrupt) and embeds[d] the post-ReLU E_d;
+// Probs is derived from logits exactly as ForwardFull derives it.
+func NewIncrementalState(embeds []*tensor.Dense, logits *tensor.Dense) *IncrementalState {
+	if len(embeds) == 0 || logits == nil {
+		panic("core: NewIncrementalState needs per-layer embeddings and logits")
+	}
+	return &IncrementalState{embeds: embeds, logits: logits, Probs: probsFromLogits(logits)}
+}
+
+// RunFromState wraps an externally assembled state into the same
+// incremental session NewIncremental returns; the state must have been
+// produced by (or be bit-identical to) a full forward pass of this
+// model over the session's graph.
+func (m *Model) RunFromState(st *IncrementalState) IncrementalRun {
+	if len(st.embeds) != len(m.Enc)+1 {
+		panic("core: RunFromState embedding depth does not match model depth")
+	}
+	return &modelRun{m: m, st: st}
+}
+
 // modelRun adapts a (Model, IncrementalState) pair to IncrementalRun.
 type modelRun struct {
 	m  *Model

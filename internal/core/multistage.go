@@ -210,25 +210,36 @@ func (ms *MultiStage) Predict(g *Graph) []int {
 // nodes filtered at stage s get the (low) probability assigned by that
 // stage, survivors get the final stage's probability.
 func (ms *MultiStage) PredictProbs(g *Graph) []float64 {
-	out := make([]float64, g.N)
-	activeList := make([]bool, g.N)
-	for i := range activeList {
-		activeList[i] = true
-	}
+	stageProbs := make([][]float64, len(ms.Stages))
 	for s, model := range ms.Stages {
-		probs := model.Predict(g)
-		final := s == len(ms.Stages)-1
-		for v := range activeList {
-			if !activeList[v] {
-				continue
+		stageProbs[s] = model.Predict(g)
+	}
+	return ms.CombineStageProbs(g.N, stageProbs)
+}
+
+// CombineStageProbs folds externally computed per-stage probability
+// slices into the cascade's per-node verdict: the first non-final stage
+// confident enough to filter a node assigns its squashed probability,
+// survivors get the final stage's probability. PredictProbs is exactly
+// this over stage-by-stage Predict calls; the sharded executor
+// (internal/partition) reuses it so the cascade decision has a single
+// implementation no matter where the stage probabilities were computed.
+func (ms *MultiStage) CombineStageProbs(n int, stageProbs [][]float64) []float64 {
+	if len(stageProbs) != len(ms.Stages) {
+		panic(fmt.Sprintf("core: %d stage probability slices for %d stages",
+			len(stageProbs), len(ms.Stages)))
+	}
+	out := make([]float64, n)
+	last := len(ms.Stages) - 1
+	for v := 0; v < n; v++ {
+		for s := range ms.Stages {
+			p := stageProbs[s][v]
+			if s < last && p < ms.FilterBelow {
+				out[v] = p * ms.FilterBelow // squash below any survivor
+				break
 			}
-			if !final && probs[v] < ms.FilterBelow {
-				activeList[v] = false
-				out[v] = probs[v] * ms.FilterBelow // squash below any survivor
-				continue
-			}
-			if final {
-				out[v] = probs[v]
+			if s == last {
+				out[v] = p
 			}
 		}
 	}

@@ -91,3 +91,24 @@ func (r *multiStageRun) Update(g *Graph, dirty []int32) { r.ms.UpdateIncremental
 func (ms *MultiStage) NewIncremental(g *Graph) IncrementalRun {
 	return &multiStageRun{ms: ms, st: ms.ForwardFull(g)}
 }
+
+// RunFromStates wraps externally assembled per-stage incremental states
+// (one per cascade stage, each equivalent to that stage's ForwardFull
+// over the same graph) into the session NewIncremental returns. The
+// sharded executor (internal/partition) uses this to hand its stitched
+// whole-graph states back to the cascade.
+func (ms *MultiStage) RunFromStates(states []*IncrementalState) IncrementalRun {
+	if len(states) != len(ms.Stages) {
+		panic("core: RunFromStates needs exactly one state per cascade stage")
+	}
+	st := &MultiStageState{stages: states}
+	n := 0
+	if len(states) > 0 {
+		n = states[0].logits.Rows
+	}
+	st.Probs = make([]float64, n)
+	for v := range st.Probs {
+		st.Probs[v] = ms.cascadeProb(st, int32(v))
+	}
+	return &multiStageRun{ms: ms, st: st}
+}

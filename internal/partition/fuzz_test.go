@@ -1,0 +1,70 @@
+package partition
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/scoap"
+)
+
+// FuzzPartition drives the partitioner (and, on small inputs, the full
+// sharded executor) over arbitrary parsed .bench DAGs: whatever the
+// parser accepts must partition without panicking, satisfy the
+// cover/disjointness/closure invariants, and — the strongest check —
+// score bit-identically to the whole-graph forward. The two control
+// bytes sweep K, strategy, mode and halo depth.
+func FuzzPartition(f *testing.F) {
+	f.Add(uint8(2), uint8(0),
+		"INPUT(a)\nINPUT(b)\ng = AND(a, b)\nq = DFF(g)\nw = OR(q, b)\nOUTPUT(w)\nOBS(q)\n")
+	f.Add(uint8(7), uint8(1),
+		"INPUT(n2)\nn1 = NOT(n2)\nOUTPUT(n1)\n")
+	f.Add(uint8(1), uint8(3),
+		"INPUT(a)\nINPUT(b)\nINPUT(c)\nx = XOR(a, b, c)\ny = XNOR(x, a)\nz = NAND(a, b)\nOUTPUT(y)\nOUTPUT(z)\n")
+	f.Fuzz(func(t *testing.T, kSel, optSel uint8, src string) {
+		n, err := netlist.Read(bytes.NewReader([]byte(src)))
+		if err != nil {
+			return // parser rejected it; nothing to partition
+		}
+		if n.NumGates() == 0 || n.NumGates() > 2000 {
+			return
+		}
+		g := core.FromNetlist(n, scoap.Compute(n))
+		opt := Options{
+			K:        1 + int(kSel%8),
+			Halo:     3 + int(optSel/4)%2, // 3 or 4 (>= the depth-3 probe model)
+			Strategy: Strategy(optSel % 2),
+			Mode:     Mode((optSel / 2) % 2),
+		}
+		p, err := New(g, opt)
+		if err != nil {
+			// The only legal rejection of a parsed netlist is a
+			// non-topological graph, which FromNetlist cannot produce.
+			t.Fatalf("New rejected a parsed netlist: %v", err)
+		}
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("invariants violated: %v", err)
+		}
+		if g.N > 400 {
+			return // equivalence probe only on small graphs
+		}
+		m, err := core.NewModel(core.Config{Dims: []int{5, 6, 7}, FCDims: []int{6}, NumClasses: 2, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := NewSharded(m, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sp.Close()
+		want := m.PredictProbs(g)
+		got := sp.PredictProbs(g)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("node %d: whole-graph %v vs sharded %v (K=%d %v %v)",
+					i, want[i], got[i], opt.K, opt.Strategy, opt.Mode)
+			}
+		}
+	})
+}

@@ -1,0 +1,454 @@
+// Package partition shards a GCN-ready netlist graph for parallel
+// inference, the scale story of the paper's Section 4 experiments: the
+// industrial designs it reports on (~1.4M nodes) do not fit a
+// single-shot forward pass comfortably, so the graph is split into K
+// shards, each extended with a halo sized to the model's receptive
+// field (D undirected hops for a depth-D GCN), and the shards run on a
+// reused worker pool. Because every kernel in the forward path is
+// row-independent, the stitched result is bit-identical (float64) to
+// the whole-graph Forward — verified exhaustively by the refcheck
+// differential suite.
+//
+// Two partitioning strategies are provided behind a typed option:
+// LevelBand (the default: cut the structural-level-sorted node order
+// into K equal bands, which keeps most edges shard-internal because
+// netlist edges connect adjacent levels) and FanoutCone (cluster nodes
+// by the output cone they feed, GROOT-style). Two execution modes
+// trade communication for redundant compute: Exchange refreshes 1-hop
+// halo embeddings between layers, OneShot ships the full D-hop halo
+// once and recomputes shrinking halo rings locally with no inter-layer
+// communication.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Hot-path metrics (no-ops until obs.Enable; see docs/OBSERVABILITY.md).
+var (
+	partitionBuilds    = obs.GetCounter("partition.builds")
+	partitionHaloNodes = obs.GetCounter("partition.halo_nodes")
+	shardedInferences  = obs.GetCounter("partition.sharded_inferences")
+	exchangedRows      = obs.GetCounter("partition.exchanged_rows")
+)
+
+// Strategy selects how nodes are assigned to shard interiors.
+type Strategy int
+
+const (
+	// LevelBand sorts nodes by (structural level, id) and cuts the
+	// order into K equal-count contiguous bands. Netlist edges connect
+	// nearby levels, so bands keep most edges internal and the halo
+	// stays thin.
+	LevelBand Strategy = iota
+	// FanoutCone assigns each sink (no-successor node) to a shard
+	// round-robin and every other node to the shard of its lowest-id
+	// successor, clustering logic cones that feed the same outputs.
+	FanoutCone
+)
+
+// String names the strategy for errors and logs.
+func (s Strategy) String() string {
+	switch s {
+	case LevelBand:
+		return "level-band"
+	case FanoutCone:
+		return "fanout-cone"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Mode selects how the sharded executor covers the receptive field.
+type Mode int
+
+const (
+	// Exchange computes only interior rows each layer and copies the
+	// 1-hop halo embeddings from their owner shards between layers
+	// (one barrier per layer).
+	Exchange Mode = iota
+	// OneShot computes the shrinking halo rings redundantly — layer d
+	// evaluates interior plus rings 1..D-d — so shards never
+	// communicate after the initial attribute scatter.
+	OneShot
+)
+
+// String names the mode for errors and logs.
+func (m Mode) String() string {
+	switch m {
+	case Exchange:
+		return "exchange"
+	case OneShot:
+		return "one-shot"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Options configures both the partitioner (New) and the sharded
+// executor (NewSharded).
+type Options struct {
+	// K is the shard count; shards with empty interiors are legal
+	// (K may exceed the node or level count).
+	K int
+	// Halo is the halo depth in undirected hops. NewSharded defaults
+	// it to the base model's depth D and rejects smaller values; New
+	// accepts any Halo >= 0.
+	Halo int
+	// Strategy selects interior assignment (default LevelBand).
+	Strategy Strategy
+	// Mode selects the executor's halo scheme (default Exchange).
+	// The partitioner itself ignores it.
+	Mode Mode
+	// Workers sizes the executor's goroutine pool; <= 0 selects
+	// GOMAXPROCS. Deliberately not clamped to NumCPU: the bench
+	// matrix measures worker scaling by varying GOMAXPROCS, and a
+	// clamp would silently flatten the matrix. The partitioner
+	// itself ignores it.
+	Workers int
+}
+
+func (o Options) validate() error {
+	if o.K <= 0 {
+		return fmt.Errorf("partition: K must be positive, got %d", o.K)
+	}
+	if o.Halo < 0 {
+		return fmt.Errorf("partition: negative halo depth %d", o.Halo)
+	}
+	if o.Strategy != LevelBand && o.Strategy != FanoutCone {
+		return fmt.Errorf("partition: unknown strategy %v", o.Strategy)
+	}
+	if o.Mode != Exchange && o.Mode != OneShot {
+		return fmt.Errorf("partition: unknown mode %v", o.Mode)
+	}
+	return nil
+}
+
+// Shard is one piece of a Partition: the interior nodes it owns plus
+// halo rings at exact undirected distances 1..Halo from the interior.
+// All slices are sorted ascending by node id.
+type Shard struct {
+	// Interior holds the nodes this shard owns; every node belongs to
+	// exactly one shard's interior.
+	Interior []int32
+	// Rings[h-1] holds the nodes at exact undirected distance h from
+	// the interior (the halo). Rings of one shard are pairwise
+	// disjoint and disjoint from its interior; different shards'
+	// rings may overlap.
+	Rings [][]int32
+}
+
+// HaloSize returns the total node count across all rings.
+func (s *Shard) HaloSize() int {
+	total := 0
+	for _, r := range s.Rings {
+		total += len(r)
+	}
+	return total
+}
+
+// Partition is a K-way split of a graph with per-shard halos.
+type Partition struct {
+	// K is the shard count; len(Shards) == K.
+	K int
+	// Halo is the ring depth each shard carries.
+	Halo int
+	// Strategy records how interiors were assigned.
+	Strategy Strategy
+	// Owner maps node id -> owning shard index.
+	Owner []int32
+	// Shards holds the per-shard interiors and halo rings.
+	Shards []*Shard
+}
+
+// New partitions g into opt.K shards with opt.Halo halo rings using
+// opt.Strategy. The result is deterministic: the same graph and
+// options always produce the same partition. Graphs built through the
+// core API have topologically ordered ids (every edge u→v has u < v);
+// New reports an error if that invariant is broken.
+func New(g *core.Graph, opt Options) (*Partition, error) {
+	if g == nil {
+		return nil, fmt.Errorf("partition: nil graph")
+	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	var owner []int32
+	var err error
+	switch opt.Strategy {
+	case LevelBand:
+		owner, err = levelBandOwners(g, opt.K)
+	case FanoutCone:
+		owner, err = fanoutConeOwners(g, opt.K)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Partition{K: opt.K, Halo: opt.Halo, Strategy: opt.Strategy, Owner: owner}
+	interiors := make([][]int32, opt.K)
+	for v := int32(0); v < int32(g.N); v++ {
+		interiors[owner[v]] = append(interiors[owner[v]], v)
+	}
+	// Undirected BFS from each interior, one exact-distance ring per
+	// hop. The epoch-stamped mark array is shared across shards so a
+	// K-way partition of a large graph allocates one scratch slice.
+	mark := make([]int32, g.N)
+	epoch := int32(0)
+	haloTotal := 0
+	for k := 0; k < opt.K; k++ {
+		sh := &Shard{Interior: interiors[k]}
+		epoch++
+		for _, v := range sh.Interior {
+			mark[v] = epoch
+		}
+		frontier := sh.Interior
+		for h := 0; h < opt.Halo; h++ {
+			var ring []int32
+			for _, v := range frontier {
+				for _, u := range g.PredList(v) {
+					if mark[u] != epoch {
+						mark[u] = epoch
+						ring = append(ring, u)
+					}
+				}
+				for _, u := range g.SuccList(v) {
+					if mark[u] != epoch {
+						mark[u] = epoch
+						ring = append(ring, u)
+					}
+				}
+			}
+			sort.Slice(ring, func(i, j int) bool { return ring[i] < ring[j] })
+			sh.Rings = append(sh.Rings, ring)
+			frontier = ring
+		}
+		haloTotal += sh.HaloSize()
+		p.Shards = append(p.Shards, sh)
+	}
+	partitionBuilds.Inc()
+	partitionHaloNodes.Add(int64(haloTotal))
+	return p, nil
+}
+
+// topoLevels computes each node's structural level (longest path from
+// any source), validating that ids are topologically ordered.
+func topoLevels(g *core.Graph) ([]int32, error) {
+	lv := make([]int32, g.N)
+	for v := int32(0); v < int32(g.N); v++ {
+		best := int32(-1)
+		for _, u := range g.PredList(v) {
+			if u >= v {
+				return nil, fmt.Errorf("partition: edge %d→%d violates topological id order", u, v)
+			}
+			if lv[u] > best {
+				best = lv[u]
+			}
+		}
+		lv[v] = best + 1
+	}
+	return lv, nil
+}
+
+// levelBandOwners cuts the (level, id)-sorted node order into K
+// equal-count contiguous bands.
+func levelBandOwners(g *core.Graph, k int) ([]int32, error) {
+	lv, err := topoLevels(g)
+	if err != nil {
+		return nil, err
+	}
+	maxLv := int32(0)
+	for _, l := range lv {
+		if l > maxLv {
+			maxLv = l
+		}
+	}
+	// Counting sort by level; ids ascend within a level because nodes
+	// are visited in id order, making the order (level, id).
+	counts := make([]int32, maxLv+2)
+	for _, l := range lv {
+		counts[l+1]++
+	}
+	for i := int32(1); i <= maxLv+1; i++ {
+		counts[i] += counts[i-1]
+	}
+	order := make([]int32, g.N)
+	for v := int32(0); v < int32(g.N); v++ {
+		order[counts[lv[v]]] = v
+		counts[lv[v]]++
+	}
+	owner := make([]int32, g.N)
+	base, rem := g.N/k, g.N%k
+	pos := 0
+	for s := 0; s < k; s++ {
+		size := base
+		if s < rem {
+			size++
+		}
+		for i := 0; i < size; i++ {
+			owner[order[pos]] = int32(s)
+			pos++
+		}
+	}
+	return owner, nil
+}
+
+// fanoutConeOwners assigns sinks round-robin and every other node to
+// its lowest-id successor's shard. Edges always point from lower to
+// higher ids, so a reverse-id sweep sees every node's successors
+// already assigned.
+func fanoutConeOwners(g *core.Graph, k int) ([]int32, error) {
+	if _, err := topoLevels(g); err != nil {
+		return nil, err
+	}
+	owner := make([]int32, g.N)
+	for i := range owner {
+		owner[i] = -1
+	}
+	sinks := 0
+	for v := int32(0); v < int32(g.N); v++ {
+		if len(g.SuccList(v)) == 0 {
+			owner[v] = int32(sinks % k)
+			sinks++
+		}
+	}
+	for v := int32(g.N) - 1; v >= 0; v-- {
+		if owner[v] >= 0 {
+			continue
+		}
+		succ := g.SuccList(v)
+		owner[v] = owner[succ[0]]
+	}
+	return owner, nil
+}
+
+// Validate checks the partition invariants against the graph it was
+// built from: interiors sorted, pairwise disjoint, and covering every
+// node consistently with Owner; rings sorted, disjoint from the
+// interior and each other, with every ring-h node adjacent to ring
+// h-1 (undirected) and the halo closed under adjacency up to depth
+// Halo — which by induction puts every interior node's Halo-hop
+// fan-in/fan-out inside interior∪rings. Intended for tests and
+// fuzzing; cost is O(Halo·E).
+func (p *Partition) Validate(g *core.Graph) error {
+	if len(p.Owner) != g.N {
+		return fmt.Errorf("partition: Owner covers %d of %d nodes", len(p.Owner), g.N)
+	}
+	if len(p.Shards) != p.K {
+		return fmt.Errorf("partition: %d shards for K=%d", len(p.Shards), p.K)
+	}
+	seen := make([]bool, g.N)
+	for k, sh := range p.Shards {
+		for i, v := range sh.Interior {
+			if i > 0 && sh.Interior[i-1] >= v {
+				return fmt.Errorf("partition: shard %d interior not sorted at %d", k, v)
+			}
+			if v < 0 || int(v) >= g.N {
+				return fmt.Errorf("partition: shard %d interior node %d out of range", k, v)
+			}
+			if seen[v] {
+				return fmt.Errorf("partition: node %d in two interiors", v)
+			}
+			seen[v] = true
+			if p.Owner[v] != int32(k) {
+				return fmt.Errorf("partition: node %d in shard %d interior but Owner says %d", v, k, p.Owner[v])
+			}
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			return fmt.Errorf("partition: node %d not covered by any interior", v)
+		}
+	}
+	// dist[v] = hop distance from the interior under validation:
+	// 0 for interior, h for ring h, -1 for absent.
+	dist := make([]int32, g.N)
+	for k, sh := range p.Shards {
+		if len(sh.Rings) != p.Halo {
+			return fmt.Errorf("partition: shard %d has %d rings, want %d", k, len(sh.Rings), p.Halo)
+		}
+		for i := range dist {
+			dist[i] = -1
+		}
+		for _, v := range sh.Interior {
+			dist[v] = 0
+		}
+		for h, ring := range sh.Rings {
+			for i, v := range ring {
+				if i > 0 && ring[i-1] >= v {
+					return fmt.Errorf("partition: shard %d ring %d not sorted at %d", k, h+1, v)
+				}
+				if v < 0 || int(v) >= g.N {
+					return fmt.Errorf("partition: shard %d ring %d node %d out of range", k, h+1, v)
+				}
+				if dist[v] >= 0 {
+					return fmt.Errorf("partition: shard %d node %d at distance %d reappears in ring %d",
+						k, v, dist[v], h+1)
+				}
+				dist[v] = int32(h + 1)
+			}
+		}
+		// Adjacency closure: a neighbor of a node at distance d must be
+		// at distance <= d+1; for d < Halo it must be present at all.
+		// Ring exactness: every ring-(h+1) node needs a distance-h
+		// neighbor (otherwise it is farther than its ring claims).
+		check := func(v, u int32) error {
+			if dist[u] < 0 {
+				if int(dist[v]) < p.Halo {
+					return fmt.Errorf("partition: shard %d misses node %d, neighbor of %d at distance %d",
+						k, u, v, dist[v])
+				}
+				return nil
+			}
+			if dist[u] > dist[v]+1 {
+				return fmt.Errorf("partition: shard %d nodes %d,%d adjacent but distances %d,%d",
+					k, v, u, dist[v], dist[u])
+			}
+			return nil
+		}
+		members := [][]int32{sh.Interior}
+		members = append(members, sh.Rings...)
+		for _, set := range members {
+			for _, v := range set {
+				for _, u := range g.PredList(v) {
+					if err := check(v, u); err != nil {
+						return err
+					}
+				}
+				for _, u := range g.SuccList(v) {
+					if err := check(v, u); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		for h, ring := range sh.Rings {
+			for _, v := range ring {
+				near := false
+				for _, u := range g.PredList(v) {
+					if dist[u] == int32(h) {
+						near = true
+						break
+					}
+				}
+				if !near {
+					for _, u := range g.SuccList(v) {
+						if dist[u] == int32(h) {
+							near = true
+							break
+						}
+					}
+				}
+				if !near {
+					return fmt.Errorf("partition: shard %d ring %d node %d has no distance-%d neighbor",
+						k, h+1, v, h)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package partition
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/circuitgen"
+	"repro/internal/core"
+	"repro/internal/scoap"
+)
+
+func genGraph(tb testing.TB, cfg circuitgen.Config) *core.Graph {
+	tb.Helper()
+	n := circuitgen.Generate("part_test", cfg)
+	return core.FromNetlist(n, scoap.Compute(n))
+}
+
+func testConfigs() []circuitgen.Config {
+	return []circuitgen.Config{
+		{Seed: 1, NumGates: 120, NumPIs: 8, Layers: 6, MaxFanin: 3, XorFrac: 0.2},
+		{Seed: 2, NumGates: 300, NumPIs: 12, Layers: 10, MaxFanin: 4, DFFFrac: 0.2, LongRangeProb: 0.15},
+		{Seed: 3, NumGates: 60, NumPIs: 6, Layers: 3, MaxFanin: 2, ShadowFunnels: 2, ShadowDepth: 2},
+	}
+}
+
+// TestPartitionInvariants checks the partitioner's contract over both
+// strategies and a spread of K and halo depths: Validate's invariants
+// hold, and — independently of Validate's closure logic — every
+// interior node's full halo-hop undirected neighborhood (which
+// contains its D-hop fan-in) lies inside interior∪rings.
+func TestPartitionInvariants(t *testing.T) {
+	for _, cfg := range testConfigs() {
+		g := genGraph(t, cfg)
+		for _, strat := range []Strategy{LevelBand, FanoutCone} {
+			for _, k := range []int{1, 2, 4, 8, 64} {
+				for _, halo := range []int{0, 1, 3} {
+					p, err := New(g, Options{K: k, Halo: halo, Strategy: strat})
+					if err != nil {
+						t.Fatalf("New(%v, K=%d, halo=%d): %v", strat, k, halo, err)
+					}
+					if err := p.Validate(g); err != nil {
+						t.Fatalf("Validate(%v, K=%d, halo=%d): %v", strat, k, halo, err)
+					}
+					checkReceptiveField(t, g, p)
+				}
+			}
+		}
+	}
+}
+
+// checkReceptiveField runs an independent bounded BFS (plain map-based,
+// sharing no code with the package's ring construction) from a sample
+// of interior nodes and asserts everything within halo hops is a shard
+// member.
+func checkReceptiveField(t *testing.T, g *core.Graph, p *Partition) {
+	t.Helper()
+	for k, sh := range p.Shards {
+		member := make(map[int32]bool, len(sh.Interior)+sh.HaloSize())
+		for _, v := range sh.Interior {
+			member[v] = true
+		}
+		for _, ring := range sh.Rings {
+			for _, v := range ring {
+				member[v] = true
+			}
+		}
+		step := 1 + len(sh.Interior)/16 // sample ~16 seeds per shard
+		for i := 0; i < len(sh.Interior); i += step {
+			seen := map[int32]bool{sh.Interior[i]: true}
+			frontier := []int32{sh.Interior[i]}
+			for hop := 0; hop < p.Halo; hop++ {
+				var next []int32
+				for _, v := range frontier {
+					for _, u := range append(append([]int32{}, g.PredList(v)...), g.SuccList(v)...) {
+						if !seen[u] {
+							seen[u] = true
+							next = append(next, u)
+						}
+					}
+				}
+				frontier = next
+			}
+			for v := range seen {
+				if !member[v] {
+					t.Fatalf("shard %d: node %d within %d hops of interior %d not in interior∪rings",
+						k, v, p.Halo, sh.Interior[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := genGraph(t, testConfigs()[1])
+	for _, strat := range []Strategy{LevelBand, FanoutCone} {
+		a, err := New(g, Options{K: 4, Halo: 3, Strategy: strat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := New(g, Options{K: 4, Halo: 3, Strategy: strat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%v: two builds over the same graph differ", strat)
+		}
+	}
+}
+
+// TestLevelBandBalance: LevelBand promises equal-count bands (sizes
+// differing by at most one).
+func TestLevelBandBalance(t *testing.T) {
+	g := genGraph(t, testConfigs()[0])
+	p, err := New(g, Options{K: 7, Halo: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := g.N, 0
+	for _, sh := range p.Shards {
+		if len(sh.Interior) < min {
+			min = len(sh.Interior)
+		}
+		if len(sh.Interior) > max {
+			max = len(sh.Interior)
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("level-band interiors unbalanced: min %d max %d", min, max)
+	}
+}
+
+func TestPartitionDegenerateShapes(t *testing.T) {
+	// K greater than the node count: empty interiors must be legal and
+	// carry empty rings.
+	g := genGraph(t, circuitgen.Config{Seed: 9, NumGates: 12, NumPIs: 4, Layers: 2, MaxFanin: 2})
+	p, err := New(g, Options{K: 40, Halo: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	empties := 0
+	for _, sh := range p.Shards {
+		if len(sh.Interior) == 0 {
+			empties++
+			if sh.HaloSize() != 0 {
+				t.Fatalf("empty interior with %d halo nodes", sh.HaloSize())
+			}
+		}
+	}
+	if empties == 0 {
+		t.Fatalf("expected empty shards with K=40 over %d nodes", g.N)
+	}
+
+	// A graph with no edges at all (disconnected single-node
+	// components): rings are empty everywhere, cover still holds.
+	iso := core.NewGraph(5)
+	p, err = New(iso, Options{K: 3, Halo: 2, Strategy: FanoutCone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(iso); err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range p.Shards {
+		if sh.HaloSize() != 0 {
+			t.Fatalf("edgeless graph grew a halo")
+		}
+	}
+}
+
+func TestPartitionOptionErrors(t *testing.T) {
+	g := genGraph(t, testConfigs()[2])
+	cases := []Options{
+		{K: 0},
+		{K: -2},
+		{K: 2, Halo: -1},
+		{K: 2, Strategy: Strategy(99)},
+		{K: 2, Mode: Mode(99)},
+	}
+	for _, opt := range cases {
+		if _, err := New(g, opt); err == nil {
+			t.Fatalf("New(%+v) accepted invalid options", opt)
+		}
+	}
+	if _, err := New(nil, Options{K: 2}); err == nil {
+		t.Fatal("New(nil graph) succeeded")
+	}
+}
+
+// TestPartitionRejectsNonTopological: graphs whose edges do not point
+// from lower to higher ids (impossible through FromNetlist, possible
+// through direct COO manipulation) are rejected, not mis-partitioned.
+func TestPartitionRejectsNonTopological(t *testing.T) {
+	g := core.NewGraph(3)
+	g.PredCOO().Append(0, 2, 1) // node 0 "preceded by" node 2
+	for _, strat := range []Strategy{LevelBand, FanoutCone} {
+		if _, err := New(g, Options{K: 2, Strategy: strat}); err == nil {
+			t.Fatalf("%v accepted a non-topological graph", strat)
+		}
+	}
+}
+
+// TestValidateDetectsCorruption drives Validate's failure branches:
+// each corruption of a healthy partition must be reported.
+func TestValidateDetectsCorruption(t *testing.T) {
+	g := genGraph(t, testConfigs()[0])
+	fresh := func() *Partition {
+		p, err := New(g, Options{K: 3, Halo: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	corrupt := []struct {
+		name string
+		mut  func(p *Partition)
+	}{
+		{"owner mismatch", func(p *Partition) { p.Owner[p.Shards[0].Interior[0]] = 1 }},
+		{"duplicate interior", func(p *Partition) {
+			p.Shards[1].Interior = append([]int32{p.Shards[0].Interior[0]}, p.Shards[1].Interior...)
+		}},
+		{"unsorted interior", func(p *Partition) {
+			in := p.Shards[0].Interior
+			in[0], in[1] = in[1], in[0]
+		}},
+		{"dropped node", func(p *Partition) {
+			sh := p.Shards[2]
+			sh.Interior = sh.Interior[:len(sh.Interior)-1]
+		}},
+		{"ring count", func(p *Partition) { p.Shards[0].Rings = p.Shards[0].Rings[:1] }},
+		{"ring reuses interior node", func(p *Partition) {
+			p.Shards[0].Rings[0] = append([]int32(nil), p.Shards[0].Interior[0])
+		}},
+		{"missing ring node", func(p *Partition) {
+			for _, sh := range p.Shards {
+				if len(sh.Rings[0]) > 0 {
+					sh.Rings[0] = sh.Rings[0][1:]
+					return
+				}
+			}
+			t.Fatal("no shard with a non-empty ring to corrupt")
+		}},
+		{"far node in near ring", func(p *Partition) {
+			// Claim the entire node set is at distance 1: nodes beyond
+			// distance 1 then lack a distance-0 neighbor.
+			sh := p.Shards[0]
+			have := map[int32]bool{}
+			for _, v := range sh.Interior {
+				have[v] = true
+			}
+			var all []int32
+			for v := int32(0); int(v) < g.N; v++ {
+				if !have[v] {
+					all = append(all, v)
+				}
+			}
+			sh.Rings = [][]int32{all, nil}
+		}},
+	}
+	for _, c := range corrupt {
+		p := fresh()
+		c.mut(p)
+		err := p.Validate(g)
+		if err == nil {
+			t.Fatalf("%s: Validate accepted the corrupted partition", c.name)
+		}
+		if !strings.Contains(err.Error(), "partition:") {
+			t.Fatalf("%s: unexpected error text %q", c.name, err)
+		}
+	}
+}
+
+func TestStrategyModeStrings(t *testing.T) {
+	for want, s := range map[string]interface{ String() string }{
+		"level-band":  LevelBand,
+		"fanout-cone": FanoutCone,
+		"exchange":    Exchange,
+		"one-shot":    OneShot,
+		"strategy(7)": Strategy(7),
+		"mode(9)":     Mode(9),
+	} {
+		if got := s.String(); got != want {
+			t.Fatalf("String() = %q, want %q", got, want)
+		}
+	}
+}

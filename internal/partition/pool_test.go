@@ -1,0 +1,71 @@
+package partition
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEveryTask(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var n atomic.Int64
+	tasks := make([]func(), 100)
+	for i := range tasks {
+		tasks[i] = func() { n.Add(1) }
+	}
+	p.Run(tasks)
+	p.Run(tasks) // pool is reusable across barriers
+	if got := n.Load(); got != 200 {
+		t.Fatalf("ran %d tasks, want 200", got)
+	}
+}
+
+func TestPoolPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		var after atomic.Bool
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want boom", workers, r)
+				}
+			}()
+			p.Run([]func(){
+				func() { panic("boom") },
+				func() { after.Store(true) },
+			})
+			t.Fatalf("workers=%d: Run returned without panicking", workers)
+		}()
+		// The parallel pool finishes remaining tasks before re-raising;
+		// the serial path stops at the panic like a plain loop would.
+		if workers > 1 && !after.Load() {
+			t.Fatal("parallel pool dropped a task after a sibling panic")
+		}
+		p.Close()
+	}
+}
+
+func TestPoolCloseSemantics(t *testing.T) {
+	p := NewPool(3)
+	var n atomic.Int64
+	p.Run([]func(){func() { n.Add(1) }, func() { n.Add(1) }})
+	p.Close()
+	p.Close() // idempotent
+	p.Run([]func(){func() { n.Add(1) }, func() { n.Add(1) }})
+	if n.Load() != 4 {
+		t.Fatalf("counted %d, want 4 (post-Close Run must execute inline)", n.Load())
+	}
+}
+
+func TestPoolDefaults(t *testing.T) {
+	if w := NewPool(0).Workers(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default workers %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+	if w := NewPool(7).Workers(); w != 7 {
+		t.Fatalf("workers %d, want 7 (no NumCPU clamp)", w)
+	}
+	p := NewPool(2)
+	p.Run(nil) // empty task list is a no-op
+	p.Close()
+}

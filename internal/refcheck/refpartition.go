@@ -1,0 +1,95 @@
+package refcheck
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/partition"
+	"repro/internal/scoap"
+)
+
+// This file differentially verifies the sharded executor: whole-graph
+// Forward is the reference, and the partition-then-stitch inference of
+// internal/partition must reproduce it bit-identically (float64 ==,
+// not a tolerance — the sharded engine replays the exact same
+// per-row operation sequence, so even the last ulp must agree).
+
+// CheckShardedPredictor runs base both whole-graph and sharded under
+// opt and returns an error describing the first disagreement:
+//
+//   - the partition must satisfy its own invariants (Validate);
+//   - sharded PredictProbs must equal whole-graph PredictProbs
+//     bit-for-bit on every node;
+//   - the incremental session stitched by the sharded full pass
+//     (NewIncremental) must report the same probabilities bit-for-bit.
+func CheckShardedPredictor(g *core.Graph, base core.IncrementalPredictor, opt partition.Options) error {
+	want := base.PredictProbs(g)
+	sp, err := partition.NewSharded(base, opt)
+	if err != nil {
+		return fmt.Errorf("NewSharded(K=%d, %v, %v): %v", opt.K, opt.Strategy, opt.Mode, err)
+	}
+	defer sp.Close()
+	if err := sp.Partition(g).Validate(g); err != nil {
+		return fmt.Errorf("partition invariants (K=%d, %v): %v", opt.K, opt.Strategy, err)
+	}
+	got := sp.PredictProbs(g)
+	if err := exactMatch("PredictProbs", want, got); err != nil {
+		return fmt.Errorf("K=%d %v %v: %v", opt.K, opt.Strategy, opt.Mode, err)
+	}
+	inc := sp.NewIncremental(g).Probs()
+	if err := exactMatch("NewIncremental", want, inc); err != nil {
+		return fmt.Errorf("K=%d %v %v: %v", opt.K, opt.Strategy, opt.Mode, err)
+	}
+	return nil
+}
+
+// CheckShardedNetlist builds the GCN graph for a netlist and sweeps
+// CheckShardedPredictor over K∈ks × both strategies × both execution
+// modes for a depth-3 Model and a 2-stage MultiStage cascade seeded
+// from seed. Model weights are random-initialized — bit-identity is a
+// property of the executor, not of trained weights.
+func CheckShardedNetlist(n *netlist.Netlist, seed int64, ks []int) error {
+	g := core.FromNetlist(n, scoap.Compute(n))
+	cfg := core.Config{Dims: []int{6, 8, 10}, FCDims: []int{8}, NumClasses: 2, Seed: seed}
+	m, err := core.NewModel(cfg)
+	if err != nil {
+		return err
+	}
+	cfg2 := cfg
+	cfg2.Seed = seed + 7919
+	m2, err := core.NewModel(cfg2)
+	if err != nil {
+		return err
+	}
+	ms := &core.MultiStage{Stages: []*core.Model{m, m2}, FilterBelow: 0.25}
+
+	for _, k := range ks {
+		for _, strat := range []partition.Strategy{partition.LevelBand, partition.FanoutCone} {
+			for _, mode := range []partition.Mode{partition.Exchange, partition.OneShot} {
+				opt := partition.Options{K: k, Strategy: strat, Mode: mode, Workers: 2}
+				if err := CheckShardedPredictor(g, m, opt); err != nil {
+					return fmt.Errorf("model: %v", err)
+				}
+				if err := CheckShardedPredictor(g, ms, opt); err != nil {
+					return fmt.Errorf("multistage: %v", err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// exactMatch requires got == want per element with float64 equality.
+func exactMatch(label string, want, got []float64) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("%s: %d nodes, sharded returned %d", label, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("%s: node %d: whole-graph %v, sharded %v (bit-exact mismatch)",
+				label, i, want[i], got[i])
+		}
+	}
+	return nil
+}

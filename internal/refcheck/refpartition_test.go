@@ -1,0 +1,83 @@
+package refcheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuitgen"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/partition"
+	"repro/internal/scoap"
+)
+
+// TestShardedDifferential is the acceptance gate for the sharded
+// executor: 60 seeded random circuits, each scored whole-graph and
+// sharded across K∈{2,4,8} × {level-band, fanout-cone} × {exchange,
+// one-shot} for both a Model and a MultiStage cascade, with zero
+// bit-level disagreements tolerated.
+func TestShardedDifferential(t *testing.T) {
+	const circuits = 60
+	configs := RandomConfigs(1337, circuits)
+	for i, cfg := range configs {
+		n := circuitgen.Generate("shard", cfg)
+		if err := n.Validate(); err != nil {
+			t.Fatalf("circuit %d: invalid netlist: %v", i, err)
+		}
+		if err := CheckShardedNetlist(n, int64(3000+i), []int{2, 4, 8}); err != nil {
+			t.Errorf("circuit %d (gates=%d dff=%.2f): %v", i, n.NumGates(), cfg.DFFFrac, err)
+		}
+	}
+}
+
+// TestShardedDegenerateShapes covers the partition shapes most likely
+// to break stitching: a single shard (no halo traffic at all), far
+// more shards than structural levels (empty interiors, halo-dominated
+// shards), and a netlist of two fully disconnected components.
+func TestShardedDegenerateShapes(t *testing.T) {
+	t.Run("single shard and K beyond levels", func(t *testing.T) {
+		n := circuitgen.Generate("degen", circuitgen.Config{
+			Seed: 5, NumGates: 70, NumPIs: 8, Layers: 3, MaxFanin: 3})
+		if err := CheckShardedNetlist(n, 77, []int{1, 64}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("disconnected components", func(t *testing.T) {
+		// Two independent cones sharing no nets: the undirected halo
+		// BFS must stay inside each component and stitching must not
+		// leak rows across them.
+		src := "INPUT(a1)\nINPUT(a2)\nx1 = AND(a1, a2)\ny1 = NOT(x1)\nOUTPUT(y1)\n" +
+			"INPUT(b1)\nINPUT(b2)\nx2 = OR(b1, b2)\ny2 = XOR(x2, b1)\nz2 = NAND(y2, x2)\nOUTPUT(z2)\n"
+		n, err := netlist.Read(strings.NewReader(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckShardedNetlist(n, 99, []int{2, 3, 8}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("graph mutated by insertion", func(t *testing.T) {
+		// The compiled partition is cached by (graph, N, edges); an
+		// appended observation point must trigger recompilation and
+		// stay bit-identical afterwards.
+		n := circuitgen.Generate("degen2", circuitgen.Config{
+			Seed: 6, NumGates: 90, NumPIs: 8, Layers: 5, MaxFanin: 3})
+		g := core.FromNetlist(n, scoap.Compute(n))
+		m, err := core.NewModel(core.Config{Dims: []int{6, 8}, FCDims: []int{8}, NumClasses: 2, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := partition.NewSharded(m, partition.Options{K: 4, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sp.Close()
+		if err := exactMatch("pre-insert", m.PredictProbs(g), sp.PredictProbs(g)); err != nil {
+			t.Fatal(err)
+		}
+		g.AddObservationPoint(int32(g.N / 3))
+		if err := exactMatch("post-insert", m.PredictProbs(g), sp.PredictProbs(g)); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/circuitgen"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/partition"
+)
+
+// TestShardedPredictorIntegration runs the full serving path — compile,
+// score, delta-update — against a ShardedPredictor and checks the HTTP
+// responses are bit-identical to driving the underlying model directly.
+// This is the wiring cmd/serve -shards enables.
+func TestShardedPredictorIntegration(t *testing.T) {
+	n := circuitgen.Generate("serve_shard", circuitgen.Config{
+		Seed: 11, NumGates: 140, NumPIs: 10, Layers: 6, MaxFanin: 3})
+	var buf bytes.Buffer
+	if err := netlist.Write(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	benchText := buf.String()
+
+	m, err := core.NewModel(core.Config{Dims: []int{6, 8, 10}, FCDims: []int{8}, NumClasses: 2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := partition.NewSharded(m, partition.Options{K: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+
+	_, ts := newTestServer(t, Options{Predictor: sp, DisableBatching: true})
+
+	var score ScoreResponse
+	if code := postJSON(t, ts.URL+"/v1/score", ScoreRequest{Netlist: benchText}, &score); code != 200 {
+		t.Fatalf("score status %d", code)
+	}
+	_, _, g := compileForTest(t, benchText)
+	want := m.PredictProbs(g)
+	if len(score.Scores) != len(want) {
+		t.Fatalf("scores length %d, want %d", len(score.Scores), len(want))
+	}
+	for v := range want {
+		if score.Scores[v] != want[v] {
+			t.Fatalf("node %d: sharded server %v, direct model %v", v, score.Scores[v], want[v])
+		}
+	}
+
+	// Delta path: insert an observation point through the server and
+	// compare against the same incremental recipe driven directly on the
+	// bare model. The sharded full pass stitches a state bit-identical
+	// to ForwardFull, so the post-update probabilities must also agree
+	// bit-for-bit (incremental updates themselves are only 1e-9-close to
+	// a full re-forward, which is why the reference is incremental too).
+	target := int32(g.N / 2)
+	var delta ScoreResponse
+	code := postJSON(t, ts.URL+"/v1/score/delta", DeltaRequest{
+		Design:  score.Design,
+		Observe: []int32{target},
+	}, &delta)
+	if code != 200 {
+		t.Fatalf("delta status %d", code)
+	}
+	nm, meas, gm := compileForTest(t, benchText)
+	run := m.NewIncremental(gm)
+	_, dirty, err := insertForTest(nm, meas, gm, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Update(gm, dirty)
+	wantDelta := run.Probs()
+	if len(delta.Scores) != len(wantDelta) {
+		t.Fatalf("delta scores length %d, want %d", len(delta.Scores), len(wantDelta))
+	}
+	for v := range wantDelta {
+		if delta.Scores[v] != wantDelta[v] {
+			t.Fatalf("post-delta node %d: sharded server %v, direct model %v", v, delta.Scores[v], wantDelta[v])
+		}
+	}
+}

@@ -190,6 +190,22 @@ func (m *CSR) mulRows(dst, x *tensor.Dense, lo, hi int) {
 	}
 }
 
+// MulDenseRows computes rows [lo,hi) of dst = m·x, leaving every other
+// row of dst untouched. The per-row accumulation order is identical to
+// MulDense, so computing a row here is bit-identical to computing it as
+// part of a whole-matrix product — the property the sharded executor in
+// internal/partition relies on. dst may be taller than hi (scratch
+// buffers are reused across layers of different active heights); x must
+// cover all NumCols columns.
+func (m *CSR) MulDenseRows(dst, x *tensor.Dense, lo, hi int) {
+	if x.Rows != m.NumCols || dst.Cols != x.Cols || lo < 0 || hi < lo || hi > m.NumRows || dst.Rows < hi {
+		panic("sparse: CSR MulDenseRows shape mismatch")
+	}
+	spmmCalls.Inc()
+	spmmRows.Add(int64(hi - lo))
+	m.mulRows(dst, x, lo, hi)
+}
+
 // MulDenseParallel is MulDense with rows partitioned across workers
 // goroutines (workers <= 0 selects GOMAXPROCS; values above
 // runtime.NumCPU() are clamped — more workers than cores only adds
