@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/obs"
 )
 
 // BenchFile mirrors the subset of cmd/benchjson's artifact schema the
@@ -72,8 +74,13 @@ func run(args []string, stdout io.Writer) (int, error) {
 	tol := fs.Float64("tol", 0.50, "allowed fractional ns/op slowdown")
 	allocTol := fs.Float64("alloc-tol", 0.10, "allowed fractional allocs/op growth")
 	minNS := fs.Float64("min-ns", 1000, "skip ns/op comparison below this baseline ns/op")
+	version := fs.Bool("version", false, "print the build's git revision and exit")
 	if err := fs.Parse(args); err != nil {
 		return 0, err
+	}
+	if *version {
+		fmt.Fprintln(stdout, "benchcmp", revision())
+		return 0, nil
 	}
 	if fs.NArg() != 2 {
 		return 0, fmt.Errorf("need exactly two artifacts: benchcmp old.json new.json")
@@ -165,4 +172,13 @@ func compare(oldF, newF *BenchFile, oldPath, newPath string, tol, allocTol, minN
 		fmt.Fprintln(w, "benchcmp: within tolerance")
 	}
 	return regressions
+}
+
+// revision is the -version payload: `git describe --always --dirty`
+// when the binary runs inside the repository, "unknown" otherwise.
+func revision() string {
+	if r := obs.GitDescribe(); r != "" {
+		return r
+	}
+	return "unknown"
 }

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/circuitgen"
+	"repro/internal/coarsen"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fault"
@@ -64,12 +65,14 @@ type BenchResult struct {
 	// each result records the value it actually ran under (the header
 	// value only describes process start).
 	GOMAXPROCS int `json:"gomaxprocs"`
-	// Workers is the sharded-executor worker-pool size for entries in
-	// the multi-core matrix (the /workers=… benchmark variants); 0 for
-	// benchmarks outside the matrix. The "numcpu" variant records the
-	// resolved runtime.NumCPU() value, so artifacts from different
-	// machines stay self-describing.
-	Workers int `json:"workers,omitempty"`
+	// Workers is the worker-pool size the benchmark ran under. Entries
+	// in the multi-core matrix (the /workers=… variants) record the
+	// sharded-executor pool size, with the "numcpu" variant resolving
+	// runtime.NumCPU(); every other benchmark records GOMAXPROCS at
+	// measurement time — the effective parallelism of its kernels — so
+	// artifacts from different machines stay self-describing for all
+	// results, not just the matrix.
+	Workers int `json:"workers"`
 }
 
 // BenchFile is the serialized artifact: environment identification plus
@@ -118,6 +121,10 @@ var tier1 = []struct {
 	{name: "AblationFaultSimulation", fn: ignoreWorkers(benchFaultSimulation)},
 	{name: "OPIFlowFull", fn: ignoreWorkers(benchOPIFlowFull)},
 	{name: "OPIFlowIncremental", fn: ignoreWorkers(benchOPIFlowIncremental)},
+	{name: "OPIFlowCoarseRefine", fn: ignoreWorkers(benchOPIFlowCoarseRefine)},
+	{name: "CoarsenBuild", fn: ignoreWorkers(benchCoarsenBuild)},
+	{name: "CoarsenFineForward", fn: ignoreWorkers(benchCoarsenFineForward)},
+	{name: "CoarsenCoarseForward", fn: ignoreWorkers(benchCoarsenCoarseForward)},
 	{name: "ServeScoreBatched", fn: ignoreWorkers(benchServeScoreBatched)},
 	{name: "ServeScoreSerial", fn: ignoreWorkers(benchServeScoreSerial)},
 	{name: "ObsHistogramObserve", fn: ignoreWorkers(benchObsHistogramObserve)},
@@ -171,7 +178,12 @@ func main() {
 	count := flag.Int("count", 3, "samples per benchmark; the fastest is recorded")
 	counters := flag.Bool("counters", true, "enable internal/obs and embed the counter snapshot")
 	workersSpec := flag.String("workers", "1,4,0", "comma-separated worker-pool sizes for the sharded matrix (0 = all cores)")
+	version := flag.Bool("version", false, "print the build's git revision and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("benchjson", revision())
+		return
+	}
 
 	var filter *regexp.Regexp
 	if *pattern != "" {
@@ -216,7 +228,7 @@ func main() {
 		}
 		for _, wv := range variants {
 			name := bm.name
-			recordedWorkers := 0
+			recordedWorkers := runtime.GOMAXPROCS(0)
 			if bm.parallel {
 				name = fmt.Sprintf("%s/workers=%s", bm.name, wv.label)
 				recordedWorkers = wv.n
@@ -457,19 +469,38 @@ func benchIncrementalSCOAP(b *testing.B) {
 	}
 }
 
+// opiBench lazily builds the circuitgen.OPIBench workload shared by
+// the insertion-flow and coarsening benchmarks, mirroring
+// bench_test.go's cached setup.
+var opiBench struct {
+	once  sync.Once
+	n     *netlist.Netlist
+	meas  *scoap.Measures
+	g     *core.Graph
+	model *core.Model
+	thr   float64
+}
+
+func opiBenchSetup() {
+	opiBench.once.Do(func() {
+		n := circuitgen.Generate("opif", circuitgen.OPIBench(0))
+		meas := scoap.Compute(n)
+		g := core.FromNetlist(n, meas)
+		model := core.MustNewModel(core.DefaultConfig())
+		probs := append([]float64(nil), model.PredictProbs(g)...)
+		sort.Float64s(probs)
+		opiBench.n, opiBench.meas, opiBench.g, opiBench.model = n, meas, g, model
+		opiBench.thr = probs[int(0.995*float64(len(probs)-1))]
+	})
+}
+
 // opiFlowBench mirrors the bench_test.go full-vs-incremental insertion
 // flow pair: identical predict→rank→insert work on the same design, with
 // only the inference strategy differing.
 func opiFlowBench(b *testing.B, disableIncremental bool) {
-	n := circuitgen.Generate("opif", circuitgen.Config{Seed: 9, NumGates: 50000, ShadowFunnels: 16, ShadowGuard: 4})
-	meas := scoap.Compute(n)
-	g := core.FromNetlist(n, meas)
-	model := core.MustNewModel(core.DefaultConfig())
-	probs := append([]float64(nil), model.PredictProbs(g)...)
-	sort.Float64s(probs)
-	thr := probs[int(0.995*float64(len(probs)-1))]
+	opiBenchSetup()
 	cfg := opi.FlowConfig{
-		Threshold:          thr,
+		Threshold:          opiBench.thr,
 		PerIteration:       2,
 		MaxIterations:      16,
 		DisableIncremental: disableIncremental,
@@ -478,15 +509,87 @@ func opiFlowBench(b *testing.B, disableIncremental bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		fn, fm, fg := n.Clone(), meas.Clone(), g.Clone()
+		fn, fm, fg := opiBench.n.Clone(), opiBench.meas.Clone(), opiBench.g.Clone()
 		b.StartTimer()
-		opi.RunFlow(fn, fm, fg, model, cfg)
+		opi.RunFlow(fn, fm, fg, opiBench.model, cfg)
 	}
 }
 
 func benchOPIFlowFull(b *testing.B) { opiFlowBench(b, true) }
 
 func benchOPIFlowIncremental(b *testing.B) { opiFlowBench(b, false) }
+
+// benchOPIFlowCoarseRefine mirrors BenchmarkOPIFlowCoarseRefine: the
+// coarse-then-refine flow on the identical workload and schedule, with
+// the threshold percentile taken over the coarse score distribution.
+func benchOPIFlowCoarseRefine(b *testing.B) {
+	opiBenchSetup()
+	copt := coarsen.Options{Strategy: coarsen.FFR, Ratio: 0.25}
+	c, err := coarsen.New(opiBench.n, copt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probs := append([]float64(nil), opiBench.model.PredictProbs(c.ProjectGraph(opiBench.g))...)
+	sort.Float64s(probs)
+	cfg := opi.CoarseRefineConfig{
+		Coarsen: copt,
+		Flow: opi.FlowConfig{
+			Threshold:     probs[int(0.995*float64(len(probs)-1))],
+			PerIteration:  2,
+			MaxIterations: 16,
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fn, fm, fg := opiBench.n.Clone(), opiBench.meas.Clone(), opiBench.g.Clone()
+		b.StartTimer()
+		if _, err := opi.RunCoarseRefine(fn, fm, fg, opiBench.model, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCoarsenBuild is the one-time clustering cost on the 50k design.
+func benchCoarsenBuild(b *testing.B) {
+	opiBenchSetup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coarsen.New(opiBench.n, coarsen.Options{Strategy: coarsen.FFR, Ratio: 0.25}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCoarsenCoarseForward is one forward pass on the FFR-0.25
+// projection of the 50k design; compare with CoarsenFineForward for
+// the per-inference saving.
+func benchCoarsenCoarseForward(b *testing.B) {
+	opiBenchSetup()
+	c, err := coarsen.New(opiBench.n, coarsen.Options{Strategy: coarsen.FFR, Ratio: 0.25})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cg := c.ProjectGraph(opiBench.g)
+	opiBench.model.Forward(cg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opiBench.model.Forward(cg)
+	}
+}
+
+func benchCoarsenFineForward(b *testing.B) {
+	opiBenchSetup()
+	opiBench.model.Forward(opiBench.g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opiBench.model.Forward(opiBench.g)
+	}
+}
 
 func benchFaultSimulation(b *testing.B) {
 	n := circuitgen.Generate("ab3", circuitgen.Config{Seed: 5, NumGates: 50000})
@@ -587,4 +690,13 @@ func benchObsHistogramObserve(b *testing.B) {
 	if !wasEnabled {
 		obs.Disable()
 	}
+}
+
+// revision is the -version payload: `git describe --always --dirty`
+// when the binary runs inside the repository, "unknown" otherwise.
+func revision() string {
+	if r := obs.GitDescribe(); r != "" {
+		return r
+	}
+	return "unknown"
 }

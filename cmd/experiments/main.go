@@ -7,7 +7,10 @@
 //	            [-run LIST] [-manifest out.json] [-trace out.json] [-pprof addr]
 //
 // -run selects a comma-separated subset of
-// table1,fig8,table2,fig9,fig10,table3 (default: all).
+// table1,fig8,table2,fig9,fig10,table3 (default: all). Three heavier
+// studies are opt-in only: ablation (cascade depth), coarsen (the
+// internal/coarsen speed/accuracy grid) and coarserefine (the 50k-gate
+// exact-vs-coarse-refine OPI head-to-head; size via -coarserefine-gates).
 //
 // -manifest enables the observability layer (internal/obs) and writes a
 // run manifest — span tree, counters, environment — to the given path
@@ -52,12 +55,18 @@ func run(args []string, stdout io.Writer) error {
 	epochs := fs.Int("epochs", 0, "GCN training epochs (0 = default)")
 	seed := fs.Int64("seed", 42, "global seed")
 	quick := fs.Bool("quick", false, "shrink everything for a fast smoke run")
-	runSel := fs.String("run", "all", "comma-separated experiments: table1,fig8,table2,fig9,fig10,table3,ablation (ablation is opt-in, not part of all)")
+	runSel := fs.String("run", "all", "comma-separated experiments: table1,fig8,table2,fig9,fig10,table3,ablation,coarsen,coarserefine (ablation, coarsen and coarserefine are opt-in, not part of all)")
+	crGates := fs.Int("coarserefine-gates", 0, "design size for the coarserefine head-to-head (0 = 50k benchmark preset)")
 	manifest := fs.String("manifest", "", "enable instrumentation and write a run manifest JSON to this path")
 	trace := fs.String("trace", "", "enable span tracing and write a Chrome Trace Event JSON to this path")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof, /metrics and /snapshot on this address (e.g. localhost:6060)")
+	version := fs.Bool("version", false, "print the build's git revision and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, "experiments", revision())
+		return nil
 	}
 
 	if *pprofAddr != "" {
@@ -107,6 +116,8 @@ func run(args []string, stdout io.Writer) error {
 	step("fig10", func() { r := experiments.Fig10(cfg); r.Fprint(stdout) })
 	step("table3", func() { r := experiments.Table3(cfg); r.Fprint(stdout) })
 	step("ablation", func() { r := experiments.StageAblation(cfg, 4); r.Fprint(stdout) })
+	step("coarsen", func() { r := experiments.CoarsenGrid(cfg); r.Fprint(stdout) })
+	step("coarserefine", func() { r := experiments.CompareCoarseRefine(*crGates); r.Fprint(stdout) })
 
 	if *manifest != "" {
 		if err := obs.WriteManifest(*manifest, "experiments", map[string]any{
@@ -124,4 +135,13 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "wrote Chrome trace to %s\n", *trace)
 	}
 	return nil
+}
+
+// revision is the -version payload: `git describe --always --dirty`
+// when the binary runs inside the repository, "unknown" otherwise.
+func revision() string {
+	if r := obs.GitDescribe(); r != "" {
+		return r
+	}
+	return "unknown"
 }

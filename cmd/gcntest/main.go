@@ -50,8 +50,13 @@ func main() {
 	manifest := flag.String("manifest", "", "enable instrumentation and write a run manifest JSON to this path")
 	trace := flag.String("trace", "", "enable span tracing and write a Chrome Trace Event JSON to this path")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, /metrics and /snapshot on this address (e.g. localhost:6060)")
+	version := flag.Bool("version", false, "print the build's git revision and exit")
 	flag.Usage = usage
 	flag.Parse()
+	if *version {
+		fmt.Println("gcntest", revision())
+		return
+	}
 	args := flag.Args()
 	if len(args) < 1 {
 		usage()
@@ -380,4 +385,13 @@ func cmdCPInsert(args []string) error {
 	fmt.Printf("inserted %d CP0 and %d CP1 control points in %d rounds; wrote %s\n",
 		res.CP0s, res.CP1s, res.Rounds, *out)
 	return nil
+}
+
+// revision is the -version payload: `git describe --always --dirty`
+// when the binary runs inside the repository, "unknown" otherwise.
+func revision() string {
+	if r := obs.GitDescribe(); r != "" {
+		return r
+	}
+	return "unknown"
 }

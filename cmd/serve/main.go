@@ -62,8 +62,13 @@ func run(args []string) error {
 	sample := fs.Int("sample", 16, "access-log sampling: log one in N fast requests (1 logs all)")
 	shards := fs.Int("shards", 0, "score through the partitioned executor with this many shards (0 = whole-graph inference)")
 	shardWorkers := fs.Int("shard-workers", 0, "worker-pool size for -shards (0 = all cores)")
+	version := fs.Bool("version", false, "print the build's git revision and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println("serve", revision())
+		return nil
 	}
 
 	var pred core.IncrementalPredictor
@@ -169,4 +174,13 @@ func describe(p core.IncrementalPredictor, path string) string {
 	default:
 		return path
 	}
+}
+
+// revision is the -version payload: `git describe --always --dirty`
+// when the binary runs inside the repository, "unknown" otherwise.
+func revision() string {
+	if r := obs.GitDescribe(); r != "" {
+		return r
+	}
+	return "unknown"
 }

@@ -126,6 +126,19 @@ func PaperScale(seed int64) Config {
 	return Config{Seed: seed, NumGates: 1_050_000}
 }
 
+// OPIBench returns the generation preset shared by the insertion-flow
+// benchmark family (bench_test.go's full/incremental/coarse-refine
+// pairs and the experiments-layer coarse-refine comparison): a 50k-gate
+// design — gates <= 0 selects that default; tests pass something
+// smaller — with extra shadow funnels so a realistic population of
+// difficult-to-observe cones exists for the flows to find.
+func OPIBench(gates int) Config {
+	if gates <= 0 {
+		gates = 50000
+	}
+	return Config{Seed: 9, NumGates: gates, ShadowFunnels: 16, ShadowGuard: 4}
+}
+
 // Generate builds a netlist according to cfg. The result always validates
 // and has no dangling nets: every internal net reaches at least one
 // primary output, flip-flop or compactor.

@@ -1,0 +1,213 @@
+package opi
+
+// Coarse-then-refine observation point insertion: the ROADMAP's
+// pre-filter idea built on internal/coarsen. The GCN never sees the fine
+// graph — every prediction runs on the coarse supergraph (a fraction of
+// the nodes, so both the one-time full inference and the per-iteration
+// incremental updates shrink proportionally), and the exact machinery is
+// spent only where the coarse model points: candidate cells inside
+// positive regions are ranked by the same fan-in-cone impact heuristic
+// as RunFlow, and every insertion updates the fine netlist, SCOAP
+// measures and fine graph exactly (InsertAndRefresh). The coarsening is
+// kept live across insertions — each new observation point becomes a
+// singleton supernode and the touched regions' projected rows are
+// recomputed — so the coarse graph stays exactly equal to the projection
+// of the evolving fine graph.
+//
+// At ratio 1.0 with Regions = 0 the supergraph is the fine graph and
+// every step degenerates to RunFlow's: the flow is then bit-identical to
+// the exact incremental flow, the anchor the differential tests enforce.
+
+import (
+	"sort"
+
+	"repro/internal/coarsen"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/scoap"
+)
+
+// CoarseRefineConfig controls RunCoarseRefine.
+type CoarseRefineConfig struct {
+	// Coarsen selects the clustering strategy and ratio.
+	Coarsen coarsen.Options
+	// Regions caps how many positive regions are refined per iteration,
+	// ranked by coarse probability (ties by supernode id). 0 refines
+	// every positive region — at ratio 1.0 that reproduces RunFlow
+	// exactly.
+	Regions int
+	// PerRegion caps the candidate cells taken from each winning
+	// region: the members with the worst SCOAP observability (the
+	// region's genuinely hard cells — region scores cannot separate
+	// members, but the exact fine-grained measures can). 0 takes every
+	// member. Singleton regions are unaffected, so any value preserves
+	// the ratio-1.0 equivalence.
+	PerRegion int
+	// Flow carries the shared insertion-flow knobs (threshold,
+	// per-iteration cap, cone limit, iteration/insertion bounds,
+	// progress hook). ExactImpact and the incremental switches are
+	// ignored: prediction always runs incrementally on the coarse graph.
+	Flow FlowConfig
+}
+
+// CoarseRefineResult extends FlowResult with the coarsening geometry the
+// speed/accuracy trade-off is measured against.
+type CoarseRefineResult struct {
+	FlowResult
+	// CoarseNodes is the supernode count of the initial coarsening
+	// (before per-insertion growth).
+	CoarseNodes int
+	// AchievedRatio is supernodes/cells actually realized.
+	AchievedRatio float64
+}
+
+// RunCoarseRefine executes the coarse-then-refine insertion flow,
+// mutating the netlist, measures and fine graph in place exactly like
+// RunFlow. pred must support incremental updates (*core.Model and
+// *core.MultiStage both do); it is only ever invoked on the coarse
+// graph. The error is non-nil only for invalid coarsening options.
+func RunCoarseRefine(n *netlist.Netlist, meas *scoap.Measures, g *core.Graph, pred core.IncrementalPredictor, cfg CoarseRefineConfig) (CoarseRefineResult, error) {
+	span := obs.StartSpan("opi.coarse")
+	defer span.End()
+	fc := cfg.Flow.withDefaults()
+
+	c, err := coarsen.New(n, cfg.Coarsen)
+	if err != nil {
+		return CoarseRefineResult{}, err
+	}
+	res := CoarseRefineResult{
+		CoarseNodes:   c.NumSuper(),
+		AchievedRatio: c.AchievedRatio(),
+	}
+	cg := c.ProjectGraph(g)
+	observed := observedSet(n)
+
+	opiFullInfer.Inc()
+	run := pred.NewIncremental(cg)
+	var dirty []int32 // coarse rows whose projection changed since last update
+
+	for iter := 0; iter < fc.MaxIterations; iter++ {
+		iterSpan := span.Child("iteration")
+		opiIterations.Inc()
+		var probs []float64
+		if iter == 0 {
+			probs = run.Probs()
+		} else {
+			opiIncremental.Inc()
+			run.Update(cg, dirty)
+			dirty = dirty[:0]
+			probs = run.Probs()
+		}
+
+		// Positive regions and their refinable member cells. A region
+		// with no insertable, unobserved member has nothing left to
+		// refine regardless of its score.
+		type region struct {
+			super int32
+			prob  float64
+		}
+		var positive []region
+		candidates := make(map[int32][]int32) // super -> refinable members
+		total := 0
+		for s := 0; s < c.NumSuper() && s < len(probs); s++ {
+			if probs[s] < fc.Threshold {
+				continue
+			}
+			var cells []int32
+			for _, v := range c.Members[s] {
+				if insertable(n, v) && !observed[v] {
+					cells = append(cells, v)
+				}
+			}
+			if len(cells) == 0 {
+				continue
+			}
+			if cfg.PerRegion > 0 && len(cells) > cfg.PerRegion {
+				// Keep the members hardest to observe (ties by id, so
+				// the cut is deterministic).
+				sort.Slice(cells, func(i, j int) bool {
+					if meas.CO[cells[i]] != meas.CO[cells[j]] {
+						return meas.CO[cells[i]] > meas.CO[cells[j]]
+					}
+					return cells[i] < cells[j]
+				})
+				cells = cells[:cfg.PerRegion]
+			}
+			positive = append(positive, region{int32(s), probs[s]})
+			candidates[int32(s)] = cells
+			total += len(cells)
+		}
+		res.Iterations = iter + 1
+		res.FinalPositives = total
+		opiPositives.Observe(int64(total))
+		if fc.Progress != nil {
+			fc.Progress(iter, total, len(res.Targets))
+		}
+		if total == 0 {
+			iterSpan.End()
+			return res, nil
+		}
+		if cfg.Regions > 0 && len(positive) > cfg.Regions {
+			sort.Slice(positive, func(i, j int) bool {
+				if positive[i].prob != positive[j].prob {
+					return positive[i].prob > positive[j].prob
+				}
+				return positive[i].super < positive[j].super
+			})
+			positive = positive[:cfg.Regions]
+		}
+
+		// Exact refinement inside the winning regions: same fan-in-cone
+		// impact ranking as RunFlow, restricted to their member cells.
+		positives := make(map[int32]bool)
+		for _, r := range positive {
+			for _, v := range candidates[r.super] {
+				positives[v] = true
+			}
+		}
+		rankSpan := iterSpan.Child("rank")
+		selected := selectByImpact(n, positives, fc)
+		rankSpan.End()
+		if fc.MaxInsertions > 0 && len(res.Targets)+len(selected) > fc.MaxInsertions {
+			selected = selected[:fc.MaxInsertions-len(res.Targets)]
+		}
+		if len(selected) == 0 {
+			iterSpan.End()
+			return res, nil
+		}
+
+		lv := append([]int32(nil), n.Levels()...)
+		dirtySeen := make(map[int32]bool, len(dirty))
+		for _, v := range selected {
+			_, touched, err := InsertAndRefresh(n, meas, g, v, lv)
+			if err != nil {
+				// selected only contains insertable cells, so this is a
+				// programming error, not an input error.
+				panic(err)
+			}
+			lv = append(lv, lv[v]+1)
+			if _, err := c.AddObservationPoint(cg, v); err != nil {
+				panic(err) // the fine insertion succeeded; the mirror must too
+			}
+			// Fine attribute refreshes shrink to the touched regions:
+			// a region row changes only if some member's row changed the
+			// region maximum.
+			for _, u := range touched {
+				s := c.Owner[u]
+				if c.ReprojectRow(cg, g, s) && !dirtySeen[s] {
+					dirtySeen[s] = true
+					dirty = append(dirty, s)
+				}
+			}
+			observed[v] = true
+			res.Targets = append(res.Targets, v)
+		}
+		opiInsertions.Add(int64(len(selected)))
+		iterSpan.End()
+		if fc.MaxInsertions > 0 && len(res.Targets) >= fc.MaxInsertions {
+			return res, nil
+		}
+	}
+	return res, nil
+}

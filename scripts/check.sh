@@ -10,7 +10,8 @@
 #      (internal/obs metrics registry, internal/core parallel trainer,
 #      internal/sparse parallel SpMM, internal/fault bit-parallel sim,
 #      internal/opi parallel impact ranking, internal/partition sharded
-#      executor), plus the sharded-vs-whole-graph equivalence suite in
+#      executor, internal/coarsen projection), plus the
+#      sharded-vs-whole-graph and coarsening equivalence suites in
 #      internal/refcheck under the race detector
 #   4. the full test suite
 #   5. per-package coverage floors for the numerically critical packages
@@ -25,9 +26,9 @@
 #      committed BENCH_NNNN.json artifacts and fails on a regression
 #      beyond tolerance (generous, because artifacts may come from
 #      different machines; see docs/OBSERVABILITY.md)
-#   9. metric-key documentation: every serve.* / obs.* / partition.*
-#      metric key registered in non-test Go sources appears in
-#      docs/OBSERVABILITY.md
+#   9. metric-key documentation: every serve.* / obs.* / partition.* /
+#      coarsen.* metric key registered in non-test Go sources appears
+#      in docs/OBSERVABILITY.md
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,11 +45,11 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go test -race ./internal/obs ./internal/core ./internal/sparse ./internal/fault ./internal/opi ./internal/serve ./internal/partition"
-go test -race ./internal/obs ./internal/core ./internal/sparse ./internal/fault ./internal/opi ./internal/serve ./internal/partition
+echo "== go test -race ./internal/obs ./internal/core ./internal/sparse ./internal/fault ./internal/opi ./internal/serve ./internal/partition ./internal/coarsen"
+go test -race ./internal/obs ./internal/core ./internal/sparse ./internal/fault ./internal/opi ./internal/serve ./internal/partition ./internal/coarsen
 
-echo "== go test -race -run 'Sharded' ./internal/refcheck (sharded equivalence under race)"
-go test -race -run 'Sharded' ./internal/refcheck
+echo "== go test -race -run 'Sharded|Coarsen' ./internal/refcheck (sharded + coarsening equivalence under race)"
+go test -race -run 'Sharded|Coarsen' ./internal/refcheck
 
 echo "== go build ./... && go test ./..."
 go build ./...
@@ -76,6 +77,7 @@ check_cover core 85
 check_cover nn 90
 check_cover serve 80
 check_cover partition 85
+check_cover coarsen 85
 
 if [ "$FUZZTIME" != "0" ]; then
     echo "== fuzz smoke (${FUZZTIME} per target; FUZZTIME=0 to skip)"
@@ -83,6 +85,7 @@ if [ "$FUZZTIME" != "0" ]; then
     go test -run='^$' -fuzz='^FuzzSparseMul$'    -fuzztime="$FUZZTIME" ./internal/sparse
     go test -run='^$' -fuzz='^FuzzBatchSim$'     -fuzztime="$FUZZTIME" ./internal/fault
     go test -run='^$' -fuzz='^FuzzPartition$'    -fuzztime="$FUZZTIME" ./internal/partition
+    go test -run='^$' -fuzz='^FuzzCoarsen$'      -fuzztime="$FUZZTIME" ./internal/coarsen
 else
     echo "== fuzz smoke skipped (FUZZTIME=0)"
 fi
@@ -128,11 +131,11 @@ while read -r key; do
     fi
 done < <(
     git ls-files 'internal/*.go' 'cmd/*.go' | grep -v '_test\.go$' |
-    xargs grep -hoE 'Get(Counter|Gauge|Histogram)\("(serve|obs|partition)\.[a-z0-9_.]+"' |
+    xargs grep -hoE 'Get(Counter|Gauge|Histogram)\("(serve|obs|partition|coarsen)\.[a-z0-9_.]+"' |
     sed -E 's/^Get(Counter|Gauge|Histogram)\("//; s/"$//' | sort -u
 )
 [ "$undocumented" -eq 0 ] || exit 1
-echo "   every serve.*/obs.*/partition.* metric key documented"
+echo "   every serve.*/obs.*/partition.*/coarsen.* metric key documented"
 
 echo "== benchcmp (recorded performance trajectory)"
 benches=$(ls BENCH_*.json 2>/dev/null | sort | tail -2)

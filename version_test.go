@@ -1,0 +1,39 @@
+package repro_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVersionFlag builds every binary and checks -version prints the
+// binary's name plus a non-empty revision and exits zero — the
+// operational contract for correlating deployed artifacts with
+// recorded benchmark and experiment runs.
+func TestVersionFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds all binaries")
+	}
+	bins := []string{"serve", "experiments", "gcntest", "benchjson", "benchcmp"}
+	dir := t.TempDir()
+	for _, name := range bins {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			exe := filepath.Join(dir, name)
+			build := exec.Command("go", "build", "-o", exe, "./cmd/"+name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			out, err := exec.Command(exe, "-version").CombinedOutput()
+			if err != nil {
+				t.Fatalf("-version exited non-zero: %v\n%s", err, out)
+			}
+			line := strings.TrimSpace(string(out))
+			fields := strings.Fields(line)
+			if len(fields) != 2 || fields[0] != name || fields[1] == "" {
+				t.Fatalf("-version printed %q, want %q plus a revision", line, name)
+			}
+		})
+	}
+}
