@@ -111,12 +111,15 @@ var tier1 = []struct {
 }{
 	{name: "Table1DatasetGeneration", fn: ignoreWorkers(benchTable1)},
 	{name: "Fig10MatrixInference", fn: ignoreWorkers(benchMatrixInference)},
+	{name: "Fig10MatrixInferenceF32", fn: ignoreWorkers(benchMatrixInferenceF32)},
 	{name: "Fig10RecursiveInference", fn: ignoreWorkers(benchRecursiveInference)},
 	{name: "Fig10ShardedForward", fn: benchShardedForward, parallel: true},
 	{name: "PaperScaleForward", fn: ignoreWorkers(benchPaperScaleForward), samples: 1},
 	{name: "PaperScaleShardedForward", fn: benchPaperScaleSharded, parallel: true, samples: 1},
 	{name: "AblationCSRMul", fn: ignoreWorkers(benchCSRMul)},
+	{name: "AblationCSRMul32", fn: ignoreWorkers(benchCSRMul32)},
 	{name: "AblationSpMMParallel", fn: ignoreWorkers(benchSpMMParallel)},
+	{name: "AblationSpMM50k", fn: benchSpMM50k, parallel: true},
 	{name: "AblationIncrementalSCOAP", fn: ignoreWorkers(benchIncrementalSCOAP)},
 	{name: "AblationFaultSimulation", fn: ignoreWorkers(benchFaultSimulation)},
 	{name: "OPIFlowFull", fn: ignoreWorkers(benchOPIFlowFull)},
@@ -243,6 +246,17 @@ func main() {
 			if bm.samples > 0 {
 				samples = bm.samples
 			}
+			// Matrix variants with an explicit pool size raise GOMAXPROCS to
+			// that size for the duration of the measurement (restored after).
+			// Without this, a cgroup-limited recording host would run every
+			// matrix point under GOMAXPROCS=1 — the worker goroutines would
+			// exist but never run simultaneously — and the artifact's
+			// per-result gomaxprocs field could not distinguish a genuine
+			// single-core recording from a mislabeled multi-core one.
+			restoreProcs := -1
+			if bm.parallel && wv.n > 1 {
+				restoreProcs = runtime.GOMAXPROCS(wv.n)
+			}
 			fmt.Fprintf(os.Stderr, "running %-40s ", name)
 			// Sample several times and keep the fastest run. On a shared
 			// container, scheduler steal inflates individual samples by tens
@@ -266,6 +280,9 @@ func main() {
 				if k == 0 || sample.NsPerOp < res.NsPerOp {
 					res = sample
 				}
+			}
+			if restoreProcs > 0 {
+				runtime.GOMAXPROCS(restoreProcs)
 			}
 			fmt.Fprintf(os.Stderr, "%12.0f ns/op  %d iters  (best of %d)\n", res.NsPerOp, res.Iterations, samples)
 			file.Benchmarks = append(file.Benchmarks, res)
@@ -342,6 +359,21 @@ func benchMatrixInference(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Forward(g)
+	}
+}
+
+// benchMatrixInferenceF32 is the float32 twin of Fig10MatrixInference:
+// the same 20k-gate design scored through the narrowed-weights forward
+// path (core.Float32Inferencer). The delta between the pair is the
+// artifact's record of what precision narrowing buys on this host.
+func benchMatrixInferenceF32(b *testing.B) {
+	g, m := fig10Setup(1)
+	m.SetFloat32Inference(true)
+	m.PredictProbs(g) // build CSR + narrowed weights once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictProbs(g)
 	}
 }
 
@@ -452,6 +484,46 @@ func benchSpMMParallel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		csr.MulDenseParallel(dst, x, 0)
+	}
+}
+
+// benchCSRMul32 is the float32 twin of AblationCSRMul: the same
+// 20k-gate adjacency times a dense block, through the f32 SpMM kernel.
+func benchCSRMul32(b *testing.B) {
+	n := circuitgen.Generate("ab1", circuitgen.Config{Seed: 3, NumGates: 20000})
+	g := core.FromNetlist(n, scoap.Compute(n))
+	x := tensor.NewDense32(g.N, 32)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	dst := tensor.NewDense32(g.N, 32)
+	csr := g.Pred()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		csr.MulDense32(dst, x)
+	}
+}
+
+// benchSpMM50k is the nnz-balanced parallel SpMM matrix point: the
+// 50k-gate OPI fixture's adjacency times a 32-column block at each
+// worker-pool size. Note MulDenseParallel clamps its workers to
+// min(GOMAXPROCS, NumCPU), so on hosts with fewer cores than the matrix
+// asks for, higher-worker rows measure the (honest) clamped execution.
+func benchSpMM50k(b *testing.B, workers int) {
+	opiBenchSetup()
+	csr := opiBench.g.Pred()
+	x := tensor.NewDense(opiBench.g.N, 32)
+	rng := rand.New(rand.NewSource(7))
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	dst := tensor.NewDense(opiBench.g.N, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		csr.MulDenseParallel(dst, x, workers)
 	}
 }
 

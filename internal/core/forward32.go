@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// This file implements the float32 inference mode (DESIGN.md decision
+// 10): trained float64 parameters are narrowed once into a cached
+// weights32 bundle, and Predict/PredictProbs score with float32 SpMM and
+// matmul kernels — roughly halving the memory traffic of a forward
+// pass. Training, gradient checking, and the incremental-update session
+// stay float64; the refcheck differential suite pins the f32/f64
+// divergence at ≤1e-4 relative error over seeded circuits.
+
+// Float32Inferencer is the capability the serving/CLI layers probe to
+// flip a loaded predictor into float32 scoring. *Model and *MultiStage
+// implement it.
+type Float32Inferencer interface {
+	SetFloat32Inference(on bool)
+	Float32Inference() bool
+}
+
+// weights32 is the one-time float32 conversion of a model's trained
+// parameters.
+type weights32 struct {
+	wpr, wsu float32
+	encW     []*tensor.Dense32 // per depth, In×Out
+	encB     [][]float32
+	fcW      []*tensor.Dense32
+	fcB      [][]float32
+}
+
+// SetFloat32Inference toggles the float32 scoring path for Predict and
+// PredictProbs. Enabling (or re-enabling) drops any cached weights32 so
+// the next prediction re-converts from the current float64 parameters —
+// call it again after mutating parameters by hand. Load and
+// CopyParamsFrom invalidate the cache automatically. ForwardFull /
+// NewIncremental (the incremental session) and training always run
+// float64 regardless of this flag.
+func (m *Model) SetFloat32Inference(on bool) {
+	m.f32 = on
+	m.w32 = nil
+}
+
+// Float32Inference reports whether float32 scoring is enabled.
+func (m *Model) Float32Inference() bool { return m.f32 }
+
+// ensureWeights32 narrows the trained parameters, once.
+func (m *Model) ensureWeights32() *weights32 {
+	if m.w32 != nil {
+		return m.w32
+	}
+	w := &weights32{wpr: float32(m.Wpr.Data[0]), wsu: float32(m.Wsu.Data[0])}
+	for _, enc := range m.Enc {
+		w.encW = append(w.encW, tensor.FromDense(&tensor.Dense{Rows: enc.In, Cols: enc.Out, Data: enc.W.Data}))
+		w.encB = append(w.encB, narrow(enc.B.Data))
+	}
+	for _, l := range m.FC.Layers {
+		w.fcW = append(w.fcW, tensor.FromDense(&tensor.Dense{Rows: l.In, Cols: l.Out, Data: l.W.Data}))
+		w.fcB = append(w.fcB, narrow(l.B.Data))
+	}
+	m.w32 = w
+	return w
+}
+
+func narrow(xs []float64) []float32 {
+	out := make([]float32, len(xs))
+	for i, v := range xs {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// buf32 is buf for the float32 scratch set.
+func (m *Model) buf32(key string, rows, cols int) *tensor.Dense32 {
+	if m.scratch32 == nil {
+		m.scratch32 = make(map[string]*tensor.Dense32)
+	}
+	if d, ok := m.scratch32[key]; ok && d.Rows == rows && d.Cols == cols {
+		return d
+	}
+	d := tensor.NewDense32(rows, cols)
+	m.scratch32[key] = d
+	return d
+}
+
+// predict32 is the float32 mirror of forward(g, false) + softmax: the
+// same aggregate→encode→ReLU pipeline per depth and the same FC head,
+// all in float32, with the final softmax evaluated in float64 from the
+// f32 logits (the exp/normalize is O(N·C) and cheap; doing it wide
+// avoids compounding rounding in the probabilities the OPI flow
+// thresholds against).
+func (m *Model) predict32(g *Graph) []float64 {
+	w := m.ensureWeights32()
+	P, S := g.Pred(), g.Succ()
+	cur := m.buf32("x", g.N, g.X.Cols)
+	cur.CopyFromDense(g.X)
+	for d := range m.Enc {
+		pe := m.buf32(fmt.Sprintf("pe%d", d), g.N, cur.Cols)
+		se := m.buf32(fmt.Sprintf("se%d", d), g.N, cur.Cols)
+		agg := m.buf32(fmt.Sprintf("agg%d", d), g.N, cur.Cols)
+		next := m.buf32(fmt.Sprintf("e%d", d), g.N, w.encW[d].Cols)
+		P.MulDense32Parallel(pe, cur, 0)
+		S.MulDense32Parallel(se, cur, 0)
+		agg.CopyFrom(cur)
+		agg.AxpyInPlace(w.wpr, pe)
+		agg.AxpyInPlace(w.wsu, se)
+		tensor.MatMul32(next, agg, w.encW[d])
+		next.AddRowVector(w.encB[d])
+		next.ReLUInPlace()
+		cur = next
+	}
+	for i := range w.fcW {
+		out := m.buf32(fmt.Sprintf("fc%d", i), g.N, w.fcW[i].Cols)
+		tensor.MatMul32(out, cur, w.fcW[i])
+		out.AddRowVector(w.fcB[i])
+		if i+1 < len(w.fcW) {
+			out.ReLUInPlace()
+		}
+		cur = out
+	}
+	// Positive-class probability via a float64 stable softmax per row.
+	probs := make([]float64, g.N)
+	for i := 0; i < g.N; i++ {
+		row := cur.Row(i)
+		max := math.Inf(-1)
+		for _, v := range row {
+			if float64(v) > max {
+				max = float64(v)
+			}
+		}
+		var sum, pos float64
+		for j, v := range row {
+			e := math.Exp(float64(v) - max)
+			sum += e
+			if j == 1 {
+				pos = e
+			}
+		}
+		probs[i] = pos / sum
+	}
+	return probs
+}
+
+// SetFloat32Inference flips every stage of the cascade; the combining
+// logic (CombineStageProbs) is precision-agnostic.
+func (ms *MultiStage) SetFloat32Inference(on bool) {
+	for _, s := range ms.Stages {
+		s.SetFloat32Inference(on)
+	}
+}
+
+// Float32Inference reports whether the cascade's stages score in
+// float32 (true only when every stage does).
+func (ms *MultiStage) Float32Inference() bool {
+	if len(ms.Stages) == 0 {
+		return false
+	}
+	for _, s := range ms.Stages {
+		if !s.Float32Inference() {
+			return false
+		}
+	}
+	return true
+}

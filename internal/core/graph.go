@@ -52,6 +52,13 @@ type Graph struct {
 	predCOO *sparse.COO
 	pred    *sparse.CSR // P
 	succ    *sparse.CSR // S = Pᵀ
+	// Stale flags mark the CSRs for rebuild-in-place after a mutation:
+	// the backing arrays are kept and refilled (ToCSRInto/TransposeInto),
+	// so the once-per-insertion rebuild in the OPI loop is allocation-free
+	// in steady state. Consequence: CSR views obtained from Pred()/Succ()
+	// (including PredList/SuccList slices) are valid only until the next
+	// graph mutation — every consumer in this repo re-fetches per use.
+	predStale, succStale bool
 }
 
 // NewGraph creates an empty graph with capacity for n nodes.
@@ -95,19 +102,23 @@ func FromNetlist(n *netlist.Netlist, m *scoap.Measures) *Graph {
 	return g
 }
 
-// Pred returns the predecessor adjacency in CSR form, rebuilding it if
-// the COO has been mutated.
+// Pred returns the predecessor adjacency in CSR form, rebuilding it
+// (into the previous build's arrays) if the COO has been mutated. The
+// returned CSR is valid only until the next graph mutation.
 func (g *Graph) Pred() *sparse.CSR {
-	if g.pred == nil {
-		g.pred = g.predCOO.ToCSR()
+	if g.pred == nil || g.predStale {
+		g.pred = g.predCOO.ToCSRInto(g.pred)
+		g.predStale = false
 	}
 	return g.pred
 }
 
-// Succ returns the successor adjacency S = Pᵀ in CSR form.
+// Succ returns the successor adjacency S = Pᵀ in CSR form. The returned
+// CSR is valid only until the next graph mutation.
 func (g *Graph) Succ() *sparse.CSR {
-	if g.succ == nil {
-		g.succ = g.Pred().Transpose()
+	if g.succ == nil || g.succStale {
+		g.succ = g.Pred().TransposeInto(g.succ)
+		g.succStale = false
 	}
 	return g.succ
 }
@@ -150,7 +161,7 @@ func (g *Graph) AddObservationPoint(target int32) int32 {
 	copy(g.X.Row(int(p)), a[:])
 
 	g.Labels = append(g.Labels, 0) // an observed net is easy to observe
-	g.pred, g.succ = nil, nil
+	g.predStale, g.succStale = true, true
 	return p
 }
 

@@ -282,11 +282,17 @@ func (m *Model) UpdateIncremental(st *IncrementalState, g *Graph, dirty []int32)
 		}
 	}
 	logits := cur
-	p := nn.Softmax(logits)
+	// Pooled softmax scratch: this runs once per insertion in the OPI
+	// loop, and nn.Softmax's fresh clone per call was the last per-update
+	// allocation left in the steady state.
+	p := tensor.GetDense(logits.Rows, logits.Cols)
+	p.CopyFrom(logits)
+	p.SoftmaxRowsInPlace()
 	for i, v := range affected {
 		copy(st.logits.Row(int(v)), logits.Row(i))
 		st.Probs[v] = p.At(i, 1)
 	}
+	tensor.PutDense(p)
 	return affected
 }
 

@@ -79,6 +79,12 @@ type Model struct {
 	// intact. A Model is therefore not safe for concurrent use; the
 	// trainer gives each worker its own replica.
 	scratch map[string]*tensor.Dense
+
+	// f32 enables the float32 scoring path (see forward32.go); w32 caches
+	// the narrowed parameters and scratch32 the f32 inference buffers.
+	f32       bool
+	w32       *weights32
+	scratch32 map[string]*tensor.Dense32
 }
 
 // buf returns a reusable scratch matrix for the given role, reallocating
@@ -156,7 +162,10 @@ func (m *Model) Save(w io.Writer) error { return nn.SaveParams(w, m.Params()) }
 
 // Load restores parameters saved by Save into a model of identical
 // architecture.
-func (m *Model) Load(r io.Reader) error { return nn.LoadParams(r, m.Params()) }
+func (m *Model) Load(r io.Reader) error {
+	m.w32 = nil // cached f32 weights no longer match
+	return nn.LoadParams(r, m.Params())
+}
 
 // Clone returns a model with the same architecture and copied parameter
 // values (fresh gradient/momentum state). Used by the data-parallel
@@ -164,12 +173,14 @@ func (m *Model) Load(r io.Reader) error { return nn.LoadParams(r, m.Params()) }
 func (m *Model) Clone() *Model {
 	c := MustNewModel(m.Cfg)
 	c.CopyParamsFrom(m)
+	c.f32 = m.f32
 	return c
 }
 
 // CopyParamsFrom copies parameter values (not gradients) from src;
 // architectures must match.
 func (m *Model) CopyParamsFrom(src *Model) {
+	m.w32 = nil // cached f32 weights no longer match
 	dst, s := m.Params(), src.Params()
 	if len(dst) != len(s) {
 		panic("core: CopyParamsFrom architecture mismatch")
@@ -279,12 +290,15 @@ func (m *Model) backward(g *Graph, cache *forwardCache, dlogits *tensor.Dense) {
 			break // no gradient needed past the input attributes
 		}
 		// dE_{d-1} = dG + wpr·Pᵀ·dG + wsu·Sᵀ·dG, and Pᵀ = S, Sᵀ = P.
-		tmp := tensor.NewDense(g.N, dagg.Cols)
+		// tmp is pure scratch for the two transpose products — pooled,
+		// unlike dprev which escapes as the next iteration's grad.
+		tmp := tensor.GetDense(g.N, dagg.Cols)
 		S.MulDenseParallel(tmp, dagg, 0)
 		dprev := dagg.Clone()
 		dprev.AxpyInPlace(wpr, tmp)
 		P.MulDenseParallel(tmp, dagg, 0)
 		dprev.AxpyInPlace(wsu, tmp)
+		tensor.PutDense(tmp)
 		grad = dprev
 	}
 	// Ablated aggregation directions stay frozen at zero.
@@ -296,8 +310,13 @@ func (m *Model) backward(g *Graph, cache *forwardCache, dlogits *tensor.Dense) {
 	}
 }
 
-// Predict returns the positive-class probability for every node.
+// Predict returns the positive-class probability for every node. With
+// SetFloat32Inference(true) the pass runs in float32 (forward32.go);
+// otherwise exact float64.
 func (m *Model) Predict(g *Graph) []float64 {
+	if m.f32 {
+		return m.predict32(g)
+	}
 	logits := m.Forward(g)
 	probs := nn.Softmax(logits)
 	out := make([]float64, g.N)

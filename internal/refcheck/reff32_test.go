@@ -1,0 +1,81 @@
+package refcheck
+
+import (
+	"testing"
+
+	"repro/internal/circuitgen"
+	"repro/internal/core"
+	"repro/internal/scoap"
+)
+
+// TestDifferentialFloat32Inference is the acceptance gate for the f32
+// scoring path: 60 seeded circuits, each scored by a single Model and by
+// a 3-stage MultiStage cascade in both precisions, with per-node
+// divergence bounded by F32Tolerance and cascade decisions re-checked
+// against their thresholds.
+func TestDifferentialFloat32Inference(t *testing.T) {
+	const circuits = 60
+	configs := RandomConfigs(33, circuits)
+
+	// Xavier-initialized weights at varied seeds stand in for trained
+	// ones: the differential property (f32 tracks f64) is
+	// weight-agnostic, and skipping training keeps the suite fast.
+	cfg := core.DefaultConfig()
+	model := core.MustNewModel(cfg)
+
+	msCfg := cfg
+	ms := &core.MultiStage{FilterBelow: 0.25}
+	for s := 0; s < 3; s++ {
+		msCfg.Seed = int64(100 + s)
+		ms.Stages = append(ms.Stages, core.MustNewModel(msCfg))
+	}
+
+	for i, c := range configs {
+		n := circuitgen.Generate("f32", c)
+		if err := CheckModelF32(model, n); err != nil {
+			t.Errorf("circuit %d (gates=%d): %v", i, n.NumGates(), err)
+		}
+		if err := CheckMultiStageF32(ms, n); err != nil {
+			t.Errorf("circuit %d (gates=%d): cascade: %v", i, n.NumGates(), err)
+		}
+	}
+}
+
+// TestFloat32WeightInvalidation pins the weights32 cache contract:
+// parameter updates via CopyParamsFrom must invalidate the narrowed
+// weights, so predictions follow the new parameters.
+func TestFloat32WeightInvalidation(t *testing.T) {
+	n := circuitgen.Generate("inval", circuitgen.Config{Seed: 4, NumGates: 80, NumPIs: 10})
+	cfg := core.DefaultConfig()
+	a := core.MustNewModel(cfg)
+	cfg.Seed = 99
+	b := core.MustNewModel(cfg)
+
+	f32 := a.Clone()
+	f32.SetFloat32Inference(true)
+	if !f32.Float32Inference() {
+		t.Fatal("flag did not stick")
+	}
+	if err := CheckModelF32(a, n); err != nil {
+		t.Fatalf("before param swap: %v", err)
+	}
+	// Score once (builds the cached weights32), swap parameters, score
+	// again: the f32 prediction must now track model b, not model a.
+	g := core.FromNetlist(n, scoap.Compute(n))
+	_ = f32.Predict(g)
+	f32.CopyParamsFrom(b)
+	got := f32.Predict(g)
+	want := b.Predict(g)
+	for v := range want {
+		if d := abs(got[v] - want[v]); d > F32Tolerance {
+			t.Fatalf("node %d: stale weights32 survived CopyParamsFrom (off by %g)", v, d)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

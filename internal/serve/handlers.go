@@ -122,9 +122,16 @@ func (s *Server) compile(ctx context.Context, id string, body []byte) (*design, 
 		meas:       meas,
 		g:          g,
 		pred:       pred,
-		run:        pred.NewIncremental(g), // the one full forward pass
 		created:    now,
 		lastAccess: now,
+	}
+	if fi, ok := pred.(core.Float32Inferencer); ok && s.opts.Float32Scoring {
+		// f32 compile path: score now, defer the float64 incremental
+		// session to the first delta (see design.ensureRun).
+		fi.SetFloat32Inference(true)
+		d.scores = pred.PredictProbs(g)
+	} else {
+		d.run = pred.NewIncremental(g) // the one full forward pass
 	}
 	d.nodes.Store(int64(n.NumGates()))
 	ph.End()
@@ -141,7 +148,7 @@ func (s *Server) scoreResponse(d *design, threshold float64, cached bool) ScoreR
 		Design:    s.cache.idOf(d),
 		Nodes:     d.net.NumGates(),
 		Scores:    d.snapshotScores(),
-		Difficult: difficultList(d.net, d.run.Probs(), threshold),
+		Difficult: difficultList(d.net, d.probs(), threshold),
 		Cached:    cached,
 	}
 }
@@ -310,6 +317,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	}
 	ph.End()
 	ph = tr.StartPhase("forward")
+	d.ensureRun()            // f32-compiled designs build the f64 session here
 	d.run.Update(d.g, dirty) // appended OP nodes are implicitly dirty
 	ph.End()
 

@@ -13,7 +13,9 @@ package sparse
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/tensor"
@@ -24,6 +26,7 @@ var (
 	spmmRows          = obs.GetCounter("spmm.rows")
 	spmmCalls         = obs.GetCounter("spmm.calls")
 	spmmParallelCalls = obs.GetCounter("spmm.parallel_calls")
+	spmmF32Calls      = obs.GetCounter("spmm.f32_calls")
 )
 
 // COO is a sparse matrix in coordinate format. Duplicate (row,col)
@@ -48,7 +51,8 @@ func NewCOO(r, c int) *COO {
 // points modify the graph.
 func (m *COO) Append(row, col int32, v float64) {
 	if row < 0 || int(row) >= m.NumRows || col < 0 || int(col) >= m.NumCols {
-		panic(fmt.Sprintf("sparse: append (%d,%d) outside %d×%d", row, col, m.NumRows, m.NumCols))
+		panic(fmt.Sprintf("sparse: Append(%d,%d) outside the current %d×%d bounds (note: Grow never shrinks)",
+			row, col, m.NumRows, m.NumCols))
 	}
 	m.Rows = append(m.Rows, row)
 	m.Cols = append(m.Cols, col)
@@ -56,8 +60,14 @@ func (m *COO) Append(row, col int32, v float64) {
 }
 
 // Grow enlarges the logical dimensions (never shrinks); used when new
-// graph nodes are appended by observation point insertion.
+// graph nodes are appended by observation point insertion. Negative
+// arguments are rejected loudly — they are always a caller bug, and
+// silently ignoring them used to surface later as a confusing Append
+// panic against the unchanged bounds.
 func (m *COO) Grow(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: Grow(%d,%d) with negative dimensions", rows, cols))
+	}
 	if rows > m.NumRows {
 		m.NumRows = rows
 	}
@@ -98,28 +108,64 @@ func (m *COO) MulDense(dst, x *tensor.Dense) {
 }
 
 // ToCSR converts to CSR, summing duplicates.
-func (m *COO) ToCSR() *CSR {
-	counts := make([]int32, m.NumRows+1)
+func (m *COO) ToCSR() *CSR { return m.ToCSRInto(nil) }
+
+// ToCSRInto is ToCSR writing into dst's backing arrays when their
+// capacity allows, reallocating with headroom otherwise. A nil dst
+// allocates fresh. Returns dst. The incremental OPI loop rebuilds the
+// adjacency CSR after every insertion; reusing the previous build's
+// arrays makes the rebuild allocation-free in steady state. dst must
+// not be read concurrently with the conversion, and must not alias a
+// CSR the caller still needs.
+func (m *COO) ToCSRInto(dst *CSR) *CSR {
+	if dst == nil {
+		dst = &CSR{}
+	}
+	dst.NumRows, dst.NumCols = m.NumRows, m.NumCols
+	dst.RowPtr = growInt32(dst.RowPtr, m.NumRows+1)
+	dst.ColIdx = growInt32(dst.ColIdx, len(m.Vals))
+	dst.Vals = growFloat64(dst.Vals, len(m.Vals))
+	rowPtr := dst.RowPtr
+	for i := range rowPtr {
+		rowPtr[i] = 0
+	}
 	for _, r := range m.Rows {
-		counts[r+1]++
+		rowPtr[r+1]++
 	}
 	for i := 1; i <= m.NumRows; i++ {
-		counts[i] += counts[i-1]
+		rowPtr[i] += rowPtr[i-1]
 	}
-	rowPtr := counts
-	colIdx := make([]int32, len(m.Vals))
-	vals := make([]float64, len(m.Vals))
-	next := append([]int32(nil), rowPtr[:m.NumRows]...)
+	// Scatter with rowPtr[r] as the per-row write cursor, then shift the
+	// cursors (now row ends) back into start form — a counting-sort trick
+	// that removes the per-call `next` scratch array the old code kept.
 	for i, v := range m.Vals {
 		r := m.Rows[i]
-		p := next[r]
-		colIdx[p] = m.Cols[i]
-		vals[p] = v
-		next[r] = p + 1
+		p := rowPtr[r]
+		dst.ColIdx[p] = m.Cols[i]
+		dst.Vals[p] = v
+		rowPtr[r] = p + 1
 	}
-	csr := &CSR{NumRows: m.NumRows, NumCols: m.NumCols, RowPtr: rowPtr, ColIdx: colIdx, Vals: vals}
-	csr.sumDuplicatesInPlace()
-	return csr
+	copy(rowPtr[1:], rowPtr[:m.NumRows])
+	rowPtr[0] = 0
+	dst.sumDuplicatesInPlace()
+	return dst
+}
+
+// growInt32 reslices buf to length n, reallocating with 25% headroom
+// when capacity is insufficient.
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n, n+n/4)
+	}
+	return buf[:n]
+}
+
+// growFloat64 is growInt32 for float64 buffers.
+func growFloat64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n, n+n/4)
+	}
+	return buf[:n]
 }
 
 // CSR is a sparse matrix in compressed sparse row format. Row i's entries
@@ -139,31 +185,55 @@ type CSR struct {
 // NNZ returns the number of stored entries.
 func (m *CSR) NNZ() int { return len(m.Vals) }
 
+// dedupScratch is the pooled column-stamp scratch for duplicate
+// merging: stamp[c] holds the generation that last saw column c and
+// pos[c] where that entry was written. Bumping gen once per row
+// invalidates every stamp at once, so the arrays are never cleared —
+// the epoch trick. Replaces the map[int32]int32 the old code allocated
+// on every CSR conversion (a hot allocation in the incremental OPI
+// loop, which rebuilds CSR after each insertion).
+type dedupScratch struct {
+	stamp []int64
+	pos   []int32
+	gen   int64
+}
+
+var dedupPool = sync.Pool{New: func() any { return new(dedupScratch) }}
+
 // sumDuplicatesInPlace merges duplicate column entries within each row
-// (rows keep their relative order; columns need not be sorted).
+// (rows keep their relative order; columns need not be sorted). The
+// compaction is fully in place: row r's old bounds are read before
+// RowPtr[r] is overwritten, and the write cursor never outruns the read
+// cursor, so no output array is allocated either.
 func (m *CSR) sumDuplicatesInPlace() {
-	seen := make(map[int32]int32)
-	outPtr := make([]int32, len(m.RowPtr))
+	s := dedupPool.Get().(*dedupScratch)
+	if len(s.stamp) < m.NumCols {
+		s.stamp = make([]int64, m.NumCols)
+		s.pos = make([]int32, m.NumCols)
+		s.gen = 0 // fresh zeroed stamps; generations restart above 0
+	}
 	var w int32
 	for r := 0; r < m.NumRows; r++ {
-		outPtr[r] = w
-		start := w
-		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+		s.gen++
+		start, end := m.RowPtr[r], m.RowPtr[r+1]
+		m.RowPtr[r] = w
+		for p := start; p < end; p++ {
 			c := m.ColIdx[p]
-			if q, ok := seen[c]; ok && q >= start {
-				m.Vals[q] += m.Vals[p]
+			if s.stamp[c] == s.gen {
+				m.Vals[s.pos[c]] += m.Vals[p]
 				continue
 			}
+			s.stamp[c] = s.gen
+			s.pos[c] = w
 			m.ColIdx[w] = c
 			m.Vals[w] = m.Vals[p]
-			seen[c] = w
 			w++
 		}
 	}
-	outPtr[m.NumRows] = w
-	m.RowPtr = outPtr
+	m.RowPtr[m.NumRows] = w
 	m.ColIdx = m.ColIdx[:w]
 	m.Vals = m.Vals[:w]
+	dedupPool.Put(s)
 }
 
 // MulDense computes dst = m·x; dst must be NumRows×x.Cols.
@@ -206,23 +276,69 @@ func (m *CSR) MulDenseRows(dst, x *tensor.Dense, lo, hi int) {
 	m.mulRows(dst, x, lo, hi)
 }
 
+// clampWorkers resolves an effective worker count: workers <= 0 selects
+// GOMAXPROCS, and the result never exceeds min(GOMAXPROCS, NumCPU).
+// Clamping to NumCPU alone (the old behavior) oversubscribes the
+// scheduler in cgroup-limited containers — the serve deployment target —
+// where GOMAXPROCS is set below the host's core count.
+func clampWorkers(workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n := runtime.GOMAXPROCS(0); workers > n {
+		workers = n
+	}
+	if n := runtime.NumCPU(); workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// bandsPerWorker subdivides each worker's fair share into this many row
+// bands. Bands are pulled dynamically, so a worker that lands on a
+// denser-than-average band does not leave the others idle, and each
+// band's dst/x working set is small enough to stay cache-resident.
+const bandsPerWorker = 4
+
+// nnzBands splits rows [0, len(rowPtr)-1) into at most n bands of
+// near-equal nonzero count by binary-searching the RowPtr prefix sums.
+// Bands never split a row; boundaries that would create an empty band
+// are elided. Returns the band boundaries (first element 0, last
+// numRows). Level-banded circuits have heavily skewed row densities, so
+// equal-ROW chunks (the old scheme) leave workers idle; equal-NNZ bands
+// balance actual work.
+func nnzBands(rowPtr []int32, n int) []int32 {
+	rows := len(rowPtr) - 1
+	total := int64(rowPtr[rows])
+	if n < 1 {
+		n = 1
+	}
+	bands := make([]int32, 1, n+1)
+	for b := 1; b < n; b++ {
+		target := int32(total * int64(b) / int64(n))
+		r := sort.Search(rows, func(i int) bool { return rowPtr[i] >= target })
+		if int32(r) > bands[len(bands)-1] {
+			bands = append(bands, int32(r))
+		}
+	}
+	if int32(rows) > bands[len(bands)-1] {
+		bands = append(bands, int32(rows))
+	}
+	return bands
+}
+
 // MulDenseParallel is MulDense with rows partitioned across workers
-// goroutines (workers <= 0 selects GOMAXPROCS; values above
-// runtime.NumCPU() are clamped — more workers than cores only adds
-// scheduling overhead). This is the CPU analogue of the paper's GPU
-// SpMM.
+// goroutines (workers <= 0 selects GOMAXPROCS; the count is clamped to
+// min(GOMAXPROCS, NumCPU)). Work is split into nnz-balanced row bands
+// (bandsPerWorker per worker) that workers pull off a shared cursor.
+// This is the CPU analogue of the paper's GPU SpMM.
 func (m *CSR) MulDenseParallel(dst, x *tensor.Dense, workers int) {
 	if x.Rows != m.NumCols || dst.Rows != m.NumRows || dst.Cols != x.Cols {
 		panic("sparse: CSR MulDenseParallel shape mismatch")
 	}
 	spmmCalls.Inc()
 	spmmRows.Add(int64(m.NumRows))
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > runtime.NumCPU() {
-		workers = runtime.NumCPU()
-	}
+	workers = clampWorkers(workers)
 	// Serial fallback: with fewer than two rows per worker the goroutine
 	// fan-out costs more than it saves (and rows < workers would leave
 	// some workers with an empty range).
@@ -231,22 +347,21 @@ func (m *CSR) MulDenseParallel(dst, x *tensor.Dense, workers int) {
 		return
 	}
 	spmmParallelCalls.Inc()
+	bands := nnzBands(m.RowPtr, workers*bandsPerWorker)
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	chunk := (m.NumRows + workers - 1) / workers
+	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m.NumRows {
-			hi = m.NumRows
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
+		go func() {
 			defer wg.Done()
-			m.mulRows(dst, x, lo, hi)
-		}(lo, hi)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(bands)-1 {
+					return
+				}
+				m.mulRows(dst, x, int(bands[i]), int(bands[i+1]))
+			}
+		}()
 	}
 	wg.Wait()
 }
@@ -271,28 +386,45 @@ func (m *CSR) MulDenseTrans(dst, x *tensor.Dense) {
 }
 
 // Transpose returns mᵀ as a new CSR.
-func (m *CSR) Transpose() *CSR {
-	counts := make([]int32, m.NumCols+1)
+func (m *CSR) Transpose() *CSR { return m.TransposeInto(nil) }
+
+// TransposeInto is Transpose writing into dst's backing arrays when
+// their capacity allows, reallocating with headroom otherwise. A nil
+// dst allocates fresh. dst must not be m itself. Returns dst.
+func (m *CSR) TransposeInto(dst *CSR) *CSR {
+	if dst == m {
+		panic("sparse: TransposeInto dst must not alias the receiver")
+	}
+	if dst == nil {
+		dst = &CSR{}
+	}
+	dst.NumRows, dst.NumCols = m.NumCols, m.NumRows
+	dst.RowPtr = growInt32(dst.RowPtr, m.NumCols+1)
+	dst.ColIdx = growInt32(dst.ColIdx, len(m.Vals))
+	dst.Vals = growFloat64(dst.Vals, len(m.Vals))
+	rowPtr := dst.RowPtr
+	for i := range rowPtr {
+		rowPtr[i] = 0
+	}
 	for _, c := range m.ColIdx {
-		counts[c+1]++
+		rowPtr[c+1]++
 	}
 	for i := 1; i <= m.NumCols; i++ {
-		counts[i] += counts[i-1]
+		rowPtr[i] += rowPtr[i-1]
 	}
-	rowPtr := counts
-	colIdx := make([]int32, len(m.Vals))
-	vals := make([]float64, len(m.Vals))
-	next := append([]int32(nil), rowPtr[:m.NumCols]...)
+	// Same cursor-then-shift trick as ToCSRInto: no `next` scratch.
 	for r := 0; r < m.NumRows; r++ {
 		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
 			c := m.ColIdx[p]
-			q := next[c]
-			colIdx[q] = int32(r)
-			vals[q] = m.Vals[p]
-			next[c] = q + 1
+			q := rowPtr[c]
+			dst.ColIdx[q] = int32(r)
+			dst.Vals[q] = m.Vals[p]
+			rowPtr[c] = q + 1
 		}
 	}
-	return &CSR{NumRows: m.NumCols, NumCols: m.NumRows, RowPtr: rowPtr, ColIdx: colIdx, Vals: vals}
+	copy(rowPtr[1:], rowPtr[:m.NumCols])
+	rowPtr[0] = 0
+	return dst
 }
 
 // ToDense materializes the matrix; intended for tests and tiny examples.

@@ -25,10 +25,16 @@
 #   8. the bench-regression gate: cmd/benchcmp diffs the two most recent
 #      committed BENCH_NNNN.json artifacts and fails on a regression
 #      beyond tolerance (generous, because artifacts may come from
-#      different machines; see docs/OBSERVABILITY.md)
+#      different machines; the float32 kernels get extra headroom via
+#      -tol-for since their throughput tracks the recording host's SIMD
+#      width; see docs/OBSERVABILITY.md)
 #   9. metric-key documentation: every serve.* / obs.* / partition.* /
-#      coarsen.* metric key registered in non-test Go sources appears
-#      in docs/OBSERVABILITY.md
+#      coarsen.* / spmm.* / pool.* metric key registered in non-test Go
+#      sources appears in docs/OBSERVABILITY.md
+#  10. bench artifact completeness: the newest committed BENCH_NNNN.json
+#      contains at least one result row recorded at gomaxprocs > 1, so
+#      the worker-scaling matrix can never silently degrade to an
+#      all-single-core recording
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -131,19 +137,36 @@ while read -r key; do
     fi
 done < <(
     git ls-files 'internal/*.go' 'cmd/*.go' | grep -v '_test\.go$' |
-    xargs grep -hoE 'Get(Counter|Gauge|Histogram)\("(serve|obs|partition|coarsen)\.[a-z0-9_.]+"' |
+    xargs grep -hoE 'Get(Counter|Gauge|Histogram)\("(serve|obs|partition|coarsen|spmm|pool)\.[a-z0-9_.]+"' |
     sed -E 's/^Get(Counter|Gauge|Histogram)\("//; s/"$//' | sort -u
 )
 [ "$undocumented" -eq 0 ] || exit 1
-echo "   every serve.*/obs.*/partition.*/coarsen.* metric key documented"
+echo "   every serve.*/obs.*/partition.*/coarsen.*/spmm.*/pool.* metric key documented"
 
 echo "== benchcmp (recorded performance trajectory)"
 benches=$(ls BENCH_*.json 2>/dev/null | sort | tail -2)
 if [ "$(echo "$benches" | wc -w)" -ge 2 ]; then
+    # The float32 kernels (F32 / CSRMul32 suffixes) get wider headroom:
+    # their ns/op tracks the recording host's SIMD width and cache line
+    # behavior more than the float64 paths, so cross-machine artifacts
+    # swing harder without any code change.
     # shellcheck disable=SC2086
-    go run ./cmd/benchcmp -tol 0.5 $benches
+    go run ./cmd/benchcmp -tol 0.5 -tol-for 'F32|Mul32=0.75' $benches
 else
     echo "(fewer than two BENCH_*.json artifacts; skipping)"
+fi
+
+echo "== bench artifact multi-core matrix (gomaxprocs > 1 row present)"
+newest=$(ls BENCH_*.json 2>/dev/null | sort | tail -1)
+if [ -n "$newest" ]; then
+    if ! grep -qE '"gomaxprocs": *([2-9]|[1-9][0-9]+)' "$newest"; then
+        echo "newest bench artifact $newest has no result row recorded at gomaxprocs > 1;" >&2
+        echo "re-record with cmd/benchjson (its workers matrix raises GOMAXPROCS per variant)" >&2
+        exit 1
+    fi
+    echo "   $newest contains multi-core result rows"
+else
+    echo "(no BENCH_*.json artifacts; skipping)"
 fi
 
 echo "check.sh: all gates passed"
